@@ -1,0 +1,28 @@
+"""Ablation: AP density around the paper's 1 AP / 200 m².
+
+The paper calls its density "relatively sparse"; the sweep shows how
+end-to-end delivery (reachability x deliverability, measured jointly
+here) collapses below some density and saturates above it.
+"""
+
+from repro.experiments import format_sweep, sweep_ap_density
+
+
+def test_bench_ablation_density(benchmark):
+    densities = (1 / 500, 1 / 200, 1 / 100)
+    points = benchmark.pedantic(
+        lambda: sweep_ap_density(
+            city_name="gridport", densities=densities, seed=0, pairs=25
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_sweep(points, "m^2 per AP", "AP density sweep (gridport)"))
+
+    by_density = {round(p.parameter): p for p in points}
+    # Delivery improves (weakly) with density.
+    assert by_density[100].deliverability >= by_density[500].deliverability
+    # The paper's reference density already delivers most packets.
+    assert by_density[200].deliverability > 0.6
+    # Starved density visibly hurts.
+    assert by_density[500].deliverability < by_density[100].deliverability + 0.01

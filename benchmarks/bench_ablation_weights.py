@@ -1,0 +1,29 @@
+"""Ablation: the cubed-distance edge weights.
+
+§3 argues "cubed-distance edge weights prioritize shorter edges for
+connectivity between buildings through their APs".  The sweep compares
+exponents 1 (pure distance), 2, and 3 (the paper's choice) on the same
+pairs: higher exponents avoid long marginal hops, so deliverability
+should not degrade from 1 to 3 and typically improves.
+"""
+
+from repro.experiments import format_sweep, sweep_weight_exponent
+
+
+def test_bench_ablation_weights(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep_weight_exponent(
+            city_name="oldtown", exponents=(1.0, 2.0, 3.0), seed=0, pairs=30
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_sweep(points, "exponent", "Edge-weight exponent sweep (oldtown)"))
+
+    by_exp = {p.parameter: p for p in points}
+    assert set(by_exp) == {1.0, 2.0, 3.0}
+    # The cubed weighting must not be worse than pure distance (it is
+    # the paper's reliability argument); allow one-pair noise.
+    assert by_exp[3.0].delivered >= by_exp[1.0].delivered - 1
+    for p in points:
+        assert p.attempted > 10

@@ -1,0 +1,32 @@
+"""Ablation: conduit width W.
+
+The paper fixes W at 50 m ("comparable to the Wi-Fi transmission
+range").  The sweep shows the tradeoff that choice sits on: narrow
+conduits miss mispredicted hops (lower deliverability), wide conduits
+enrol more buildings (higher overhead).
+"""
+
+from repro.experiments import format_sweep, sweep_conduit_width
+
+
+def test_bench_ablation_width(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep_conduit_width(
+            city_name="parkside",
+            widths=(25.0, 50.0, 100.0, 150.0),
+            seed=0,
+            pairs=25,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_sweep(points, "width (m)", "Conduit width sweep (parkside)"))
+
+    by_width = {p.parameter: p for p in points}
+    # Wider conduits never hurt deliverability on the same pairs...
+    assert by_width[150.0].deliverability >= by_width[25.0].deliverability
+    # ...but they cost transmissions.
+    if by_width[150.0].median_overhead and by_width[50.0].median_overhead:
+        assert by_width[150.0].median_overhead > by_width[50.0].median_overhead
+    # The paper's W=50 already delivers most packets here.
+    assert by_width[50.0].deliverability > 0.6

@@ -1,0 +1,56 @@
+"""Benches for the fallback applications (§1's application agenda).
+
+Emergency broadcast must blanket the city; geocast must cover its
+target disc while transmitting far less than a city-wide flood.
+"""
+
+import random
+
+from repro.apps import Alert, broadcast_alert, geocast
+from repro.postbox import KeyPair
+
+AUTHORITY = KeyPair.generate(random.Random(42), bits=512)
+
+
+def test_bench_emergency_broadcast(benchmark, gridport):
+    alert = Alert.issue(AUTHORITY, b"shelter in place")
+
+    coverage = benchmark.pedantic(
+        lambda: broadcast_alert(
+            gridport.city, gridport.graph, alert, origin_ap=0, rng=random.Random(1)
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    print(
+        f"\nemergency broadcast: {coverage.coverage:.1%} of buildings alerted, "
+        f"{coverage.transmissions} transmissions, {coverage.heard_aps} APs reached"
+    )
+    # A city-wide alert must blanket (almost) every AP-bearing building.
+    assert coverage.coverage > 0.95
+    # Flooding transmits once per reached AP (no duplicates rebroadcast).
+    assert coverage.transmissions <= coverage.heard_aps
+
+
+def test_bench_geocast(benchmark, gridport):
+    city = gridport.city
+    source = city.buildings[0].id
+    target = city.buildings[-1].centroid()
+
+    result = benchmark.pedantic(
+        lambda: geocast(
+            city, gridport.graph, gridport.router, source, target,
+            radius=120, rng=random.Random(2),
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    print(
+        f"\ngeocast: {result.coverage:.1%} of the target disc covered "
+        f"({result.covered_buildings}/{result.target_buildings} buildings), "
+        f"{result.transmissions} transmissions"
+    )
+    assert result.delivered
+    assert result.coverage > 0.6
+    # Scoped: far fewer transmissions than one per mesh AP.
+    assert result.transmissions < len(gridport.graph) / 2

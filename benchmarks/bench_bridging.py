@@ -1,0 +1,39 @@
+"""Bridging bench: §4's "small number of well-placed APs".
+
+For the two fractured presets, plan bridges greedily and verify the
+paper's claim quantitatively: a handful of APs reconnects the islands
+and restores (nearly) full reachability.
+"""
+
+from repro.experiments import format_bridging, run_bridging
+
+
+def test_bench_bridging_riverton(benchmark, riverton):
+    result = benchmark.pedantic(
+        lambda: run_bridging("riverton", seed=0, pairs=150, world=riverton),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_bridging([result]))
+
+    assert result.islands_before >= 2
+    assert result.islands_after == 1
+    # "a small number of well-placed APs": single digits for one river.
+    assert result.new_aps <= 10
+    assert result.reachability_before < 0.7
+    assert result.reachability_after > 0.95
+
+
+def test_bench_bridging_capitolia(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_bridging("capitolia", seed=0, pairs=150),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_bridging([result]))
+
+    assert result.islands_before >= 4
+    assert result.islands_after == 1
+    # More islands need more APs, but still a tiny fraction of the mesh.
+    assert result.new_aps <= 60
+    assert result.reachability_after > 0.9

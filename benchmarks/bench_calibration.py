@@ -1,0 +1,29 @@
+"""Calibration bench: the map-only predictor vs ground truth.
+
+The whole CityMesh design rests on the building graph predicting real
+AP connectivity.  This bench measures precision and recall of that
+prediction on a fresh realisation, plus the footprint-gap curve that
+motivates the density-derived connectivity margin.
+"""
+
+from repro.experiments import format_calibration, run_calibration
+
+
+def test_bench_calibration(benchmark, gridport):
+    result = benchmark.pedantic(
+        lambda: run_calibration(world=gridport), rounds=2, iterations=1
+    )
+    print("\n" + format_calibration(result))
+
+    # Most predicted edges are real (the conduits' redundancy absorbs
+    # the rest).
+    assert result.precision > 0.7
+    # The conservative margin misses (almost) no real links — this is
+    # why routes exist whenever the mesh is connected.
+    assert result.recall > 0.95
+    # The gap curve is monotone: nearer buildings link more reliably,
+    # which is the empirical basis for cubed-distance weights.
+    rates = [b.link_rate for b in result.bins if b.edges >= 20]
+    assert all(a >= b - 0.05 for a, b in zip(rates, rates[1:]))
+    # Close buildings essentially always link.
+    assert result.bins[0].link_rate > 0.95

@@ -1,0 +1,30 @@
+"""Benchmark + reproduction of Figure 1 (MAC-count and spread CDFs).
+
+Checks the paper's §2 quantitative claims: median MACs per measurement
+span roughly 60 (river, worst) to 218 (downtown, best), and median
+per-MAC spread spans roughly 54 m (campus) to 168 m (river).
+"""
+
+from repro.experiments import format_fig1, run_fig1
+
+
+def test_bench_fig1(benchmark, study_datasets):
+    areas = benchmark.pedantic(
+        lambda: run_fig1(datasets=study_datasets), rounds=3, iterations=1
+    )
+    print("\n" + format_fig1(areas))
+
+    by_area = {a.area: a for a in areas}
+    # Figure 1a: downtown is the best case, river the worst.
+    mac_medians = {name: a.median_macs for name, a in by_area.items()}
+    assert max(mac_medians, key=mac_medians.get) == "downtown"
+    assert min(mac_medians, key=mac_medians.get) == "river"
+    assert 30 <= mac_medians["river"] <= 120        # paper: 60
+    assert 120 <= mac_medians["downtown"] <= 350    # paper: 218
+
+    # Figure 1b: campus has the smallest spread, river the largest.
+    spread_medians = {name: a.median_spread for name, a in by_area.items()}
+    assert min(spread_medians, key=spread_medians.get) == "campus"
+    assert max(spread_medians, key=spread_medians.get) == "river"
+    assert 30 <= spread_medians["campus"] <= 90     # paper: 54 m
+    assert 120 <= spread_medians["river"] <= 260    # paper: 168 m

@@ -1,0 +1,30 @@
+"""Benchmark + reproduction of Figure 2 (common APs vs pair distance).
+
+Checks the paper's mutual-visibility claims: nearby measurement pairs
+share many APs, counts fall with distance, and a significant number of
+pairs beyond 100 m still share APs — especially downtown.
+"""
+
+from repro.experiments import common_beyond, format_fig2, run_fig2
+
+
+def test_bench_fig2(benchmark, study_datasets):
+    areas = benchmark.pedantic(
+        lambda: run_fig2(datasets=study_datasets, stride=3), rounds=2, iterations=1
+    )
+    print("\n" + format_fig2(areas))
+
+    downtown = next(a for a in areas if a.area == "downtown")
+    assert downtown.bins, "downtown produced no distance bins"
+
+    # Counts decay with distance: the first bin's median dominates the
+    # last bin's.
+    assert downtown.bins[0].p50 > downtown.bins[-1].p50
+
+    # "a significant number of common APs beyond 100 m, particularly
+    # in the downtown area"
+    assert common_beyond(downtown, 100.0) > 100
+
+    # Other areas also show near-range commonality.
+    for area in areas:
+        assert area.bins[0].p50 > 0, f"{area.area}: no common APs even when close"

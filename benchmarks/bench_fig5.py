@@ -1,0 +1,25 @@
+"""Benchmark + reproduction of Figure 5 (downtown footprints + AP mesh).
+
+Regenerates the paper's rendering inputs at its stated parameters
+(1 AP / 200 m², 50 m range) and checks that the resulting downtown
+mesh is what the figure shows: a dense, almost fully connected graph.
+"""
+
+from repro.experiments import format_fig5, run_fig5
+
+
+def test_bench_fig5(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig5(seed=0, blocks=6, width_chars=100), rounds=3, iterations=1
+    )
+    print("\n" + format_fig5(result))
+
+    assert result.building_count >= 100
+    assert result.ap_count >= 500
+    # Figure 5b shows a single dense web: nearly all APs interconnected.
+    assert result.largest_component_fraction > 0.95
+    # Mean degree well above the connectivity threshold.
+    assert result.link_count / result.ap_count > 3
+    # Both panels rendered.
+    assert "#" in result.footprints_art
+    assert "." in result.mesh_art

@@ -1,0 +1,27 @@
+"""Benchmark + reproduction of Figure 7 (single-delivery rendering).
+
+One successful delivery with the route, the conduit rebroadcasters,
+and the APs that heard the packet but stayed outside the conduit.
+"""
+
+from repro.experiments import run_fig7
+
+
+def test_bench_fig7(benchmark, gridport):
+    result = benchmark.pedantic(
+        lambda: run_fig7(seed=0, world=gridport, width_chars=100),
+        rounds=3,
+        iterations=1,
+    )
+    print("\n" + result.art)
+
+    assert result.result.delivered
+    # The figure's three AP populations all exist.
+    assert result.conduit_ap_count > 10        # light blue: rebroadcast
+    assert result.silent_ap_count > 10         # red: heard, stayed silent
+    # The conduit keeps the broadcast local: most of the mesh never
+    # transmits (light blue is a strict subset of the city).
+    assert result.conduit_ap_count < len(gridport.graph) / 2
+    # Rendering carries all three marks.
+    for char in ("*", "o", "x"):
+        assert char in result.art

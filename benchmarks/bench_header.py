@@ -1,0 +1,27 @@
+"""Benchmark + reproduction of §4's header-size numbers.
+
+The paper: median 175 bits, 90th percentile 225 bits for the
+compressed source route in a typical (city-scale) simulation.  We
+sample routes in the metro city with 17-bit building ids and check the
+measured sizes land in the same regime.
+"""
+
+from repro.experiments import format_header_stats, run_header_stats
+
+
+def test_bench_header(benchmark):
+    stats = benchmark.pedantic(
+        lambda: run_header_stats(seed=0, pairs=80, metro_blocks=16),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_header_stats(stats))
+
+    assert stats.routes_sampled >= 50
+    # Same regime as the paper's 175 / 225 bits.
+    assert 80 <= stats.median_bits <= 250
+    assert 130 <= stats.p90_bits <= 400
+    # Compression does real work: several route buildings per waypoint.
+    assert stats.median_compression_ratio >= 2.0
+    # Headers stay tiny in absolute terms (a fraction of one MTU).
+    assert stats.p90_bits / 8 < 60

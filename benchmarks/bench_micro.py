@@ -1,0 +1,97 @@
+"""Microbenchmarks for the hot primitives.
+
+These are classic throughput benches (pytest-benchmark picks rounds
+automatically): the spatial hash, the conduit predicate, route
+planning, compression, the header codec, and raw event throughput of
+the simulation engine.  They guard against performance regressions in
+the paths that dominate experiment runtime.
+"""
+
+import random
+
+from repro.city import make_city
+from repro.core import BuildingRouter, compress_route, decode_header, encode_header
+from repro.geometry import ConduitPath, ConduitRect, GridIndex, Point
+from repro.mesh import APGraph, place_aps
+from repro.sim import Environment
+
+
+def test_bench_grid_index_query(benchmark):
+    rng = random.Random(0)
+    index = GridIndex(cell_size=50.0)
+    for i in range(5000):
+        index.insert(i, Point(rng.uniform(0, 2000), rng.uniform(0, 2000)))
+    center = Point(1000, 1000)
+
+    result = benchmark(lambda: index.query_radius(center, 50.0))
+    assert isinstance(result, list)
+
+
+def test_bench_conduit_contains(benchmark):
+    path = ConduitPath(
+        [
+            ConduitRect(Point(i * 100.0, (i % 3) * 40.0), Point((i + 1) * 100.0, ((i + 1) % 3) * 40.0), 50.0)
+            for i in range(10)
+        ]
+    )
+    points = [Point(i * 7.3 % 1000, i * 3.1 % 120) for i in range(100)]
+
+    def probe():
+        return sum(path.contains(p) for p in points)
+
+    count = benchmark(probe)
+    assert 0 <= count <= len(points)
+
+
+def test_bench_route_planning(benchmark):
+    city = make_city("gridport", seed=0)
+    router = BuildingRouter(city)
+    ids = [b.id for b in city.buildings]
+
+    plan = benchmark(lambda: router.plan(ids[0], ids[-1]))
+    assert plan.route
+
+
+def test_bench_compression(benchmark):
+    rng = random.Random(4)
+    route = [Point(i * 35.0, rng.uniform(-60, 60)) for i in range(40)]
+
+    compressed = benchmark(lambda: compress_route(route, width=50.0))
+    assert compressed.waypoint_count >= 2
+
+
+def test_bench_header_codec(benchmark):
+    waypoints = list(range(100, 100 + 12))
+
+    def roundtrip():
+        data = encode_header(waypoints, 50, 123456789, 100_000)
+        return decode_header(data)
+
+    header = benchmark(roundtrip)
+    assert header.waypoints == tuple(waypoints)
+
+
+def test_bench_engine_event_throughput(benchmark):
+    def run_10k_events():
+        env = Environment()
+        counter = 0
+
+        def bump(_ev):
+            nonlocal counter
+            counter += 1
+
+        for i in range(10_000):
+            env.timeout(i * 0.001).callbacks.append(bump)
+        env.run()
+        return counter
+
+    count = benchmark(run_10k_events)
+    assert count == 10_000
+
+
+def test_bench_ap_graph_construction(benchmark):
+    city = make_city("gridport", seed=0)
+    aps = place_aps(city, rng=random.Random(0))
+
+    graph = benchmark(lambda: APGraph(aps))
+    assert len(graph) == len(aps)

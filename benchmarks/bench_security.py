@@ -1,0 +1,61 @@
+"""Security bench: deliverability under blackhole compromise.
+
+§1 sets the criterion — deliver whenever an honest path exists.  The
+bench sweeps the compromised fraction and checks that (a) plain
+CityMesh degrades, and (b) the resilient retry recovers most of the
+gap to the criterion.
+"""
+
+from repro.experiments import format_compromise, run_compromise_sweep
+
+
+def test_bench_security(benchmark, gridport):
+    points = benchmark.pedantic(
+        lambda: run_compromise_sweep(
+            fractions=(0.0, 0.1, 0.3), seed=0, pairs=20, world=gridport
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_compromise(points))
+
+    by_fraction = {p.fraction: p for p in points}
+    clean = by_fraction[0.0]
+    heavy = by_fraction[0.3]
+
+    # With no compromise almost everything (with an honest path) delivers.
+    assert clean.plain_rate > 0.8
+    # Compromise hurts the single-shot send.
+    assert heavy.plain_rate <= clean.plain_rate
+    # Retries recover: resilient never below plain, and strictly better
+    # under heavy compromise unless plain is already perfect.
+    for p in points:
+        assert p.resilient_rate >= p.plain_rate
+    assert heavy.resilient_rate >= heavy.plain_rate
+    assert heavy.honest_possible > 5
+
+
+def test_bench_attack_strategies(benchmark):
+    """Topology-aware attackers vs random compromise at equal budget.
+
+    In sparse meshes informed attackers (path-targeted, articulation)
+    do at least as much damage as random compromise; dense downtowns
+    have so much path diversity that even informed attacks barely dent
+    deliverability — a robustness property of the design.
+    """
+    from repro.experiments import format_attacks, run_attack_comparison
+
+    outcomes = benchmark.pedantic(
+        lambda: run_attack_comparison("suburbia", budget=30, pairs=20, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_attacks(outcomes))
+
+    by_strategy = {o.strategy: o for o in outcomes}
+    assert set(by_strategy) == {"random", "targeted", "articulation"}
+    # The informed attacker is at least as damaging as random (within
+    # one-pair noise).
+    assert by_strategy["targeted"].rate <= by_strategy["random"].rate + 0.1
+    for o in outcomes:
+        assert o.attempted >= 10

@@ -1,0 +1,29 @@
+"""Benchmark + reproduction of Table 1 (war-driving summary).
+
+Regenerates the paper's measurement-summary table and checks the
+qualitative shape: downtown dominates both columns and the overall
+study is in the paper's size class (thousands of measurements, tens of
+thousands of distinct BSSIDs).
+"""
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_bench_table1(benchmark, study_datasets):
+    rows = benchmark.pedantic(
+        lambda: run_table1(datasets=study_datasets), rounds=3, iterations=1
+    )
+    print("\n" + format_table1(rows))
+
+    by_area = {r.area: r for r in rows}
+    assert set(by_area) == {"downtown", "campus", "residential", "river", "all"}
+    # Shape: downtown has the most measurements and the most unique APs.
+    assert by_area["downtown"].measurements == max(
+        r.measurements for r in rows if r.area != "all"
+    )
+    assert by_area["downtown"].unique_aps == max(
+        r.unique_aps for r in rows if r.area != "all"
+    )
+    # Scale: same order of magnitude as the paper's 4,428 / 40,158.
+    assert 2_000 <= by_area["all"].measurements <= 10_000
+    assert 10_000 <= by_area["all"].unique_aps <= 100_000

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This environment has no network access and no ``wheel`` package, so
+PEP-517 editable installs (which build a wheel for metadata) fail.
+Keeping a thin ``setup.py`` lets ``pip install -e . --no-use-pep517``
+use the legacy develop path.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

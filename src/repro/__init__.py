@@ -1,0 +1,20 @@
+"""CityMesh: a reproduction of *The Case for Decentralized Fallback
+Networks* (Lynch et al., HotNets 2024).
+
+The package implements the paper's full system from scratch:
+
+- :mod:`repro.geometry` — planar geometry and spatial indexing,
+- :mod:`repro.osm` — OSM-XML building-footprint substrate,
+- :mod:`repro.city` — synthetic city generators,
+- :mod:`repro.mesh` — AP placement and the unit-disk AP graph,
+- :mod:`repro.buildgraph` — the map-derived building graph,
+- :mod:`repro.core` — building routing, conduit compression, header codec,
+- :mod:`repro.sim` — discrete-event broadcast simulation,
+- :mod:`repro.baselines` — flooding / gossip / greedy-geo / AODV baselines,
+- :mod:`repro.measurement` — the §2 war-driving study,
+- :mod:`repro.postbox` — postbox messaging and self-certifying names,
+- :mod:`repro.security` — compromised-node experiments,
+- :mod:`repro.experiments` — drivers regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,14 @@
+"""Statistics and table-formatting helpers for experiments."""
+
+from .stats import Cdf, WhiskerBin, mean, percentile, whisker_bins
+from .tables import format_csv, format_table
+
+__all__ = [
+    "Cdf",
+    "WhiskerBin",
+    "format_csv",
+    "format_table",
+    "mean",
+    "percentile",
+    "whisker_bins",
+]

@@ -1,0 +1,147 @@
+"""Statistics helpers shared by the measurement study and experiments.
+
+These mirror the statistical artefacts in the paper: empirical CDFs
+(Figures 1a/1b), percentile whiskers per distance bin (Figure 2), and
+simple summary rows for tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical cumulative distribution function.
+
+    ``values`` are sorted sample values; ``fractions[i]`` is the fraction
+    of samples ``<= values[i]``.
+    """
+
+    values: tuple[float, ...]
+    fractions: tuple[float, ...]
+
+    @staticmethod
+    def from_samples(samples: Sequence[float]) -> "Cdf":
+        """Build the empirical CDF of a non-empty sample set."""
+        if not samples:
+            raise ValueError("cannot build a CDF from zero samples")
+        ordered = sorted(samples)
+        n = len(ordered)
+        return Cdf(tuple(ordered), tuple((i + 1) / n for i in range(n)))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def at(self, x: float) -> float:
+        """Fraction of samples ``<= x`` (0 below the minimum)."""
+        lo, hi = 0, len(self.values)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.values[mid] <= x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return 0.0 if lo == 0 else self.fractions[lo - 1]
+
+    def quantile(self, q: float) -> float:
+        """The smallest sample value with CDF fraction ``>= q``.
+
+        Raises:
+            ValueError: if ``q`` is outside (0, 1].
+        """
+        if not 0 < q <= 1:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        for value, frac in zip(self.values, self.fractions):
+            if frac >= q - 1e-12:
+                return value
+        return self.values[-1]
+
+    def median(self) -> float:
+        """The 50th percentile."""
+        return self.quantile(0.5)
+
+    def series(self, points: int = 100) -> list[tuple[float, float]]:
+        """Downsample to ``points`` (value, fraction) pairs for plotting."""
+        n = len(self.values)
+        if n <= points:
+            return list(zip(self.values, self.fractions))
+        idx = [round(i * (n - 1) / (points - 1)) for i in range(points)]
+        return [(self.values[i], self.fractions[i]) for i in idx]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sample set (q in [0, 100])."""
+    if not samples:
+        raise ValueError("percentile of empty sample set is undefined")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if q == 0:
+        return ordered[0]
+    rank = math.ceil(q / 100 * len(ordered))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class WhiskerBin:
+    """One Figure-2-style bin: a range of distances and the 10/25/50/75/100
+    percentiles of the per-pair common-AP counts that fell into it."""
+
+    lo: float
+    hi: float
+    count: int
+    p10: float
+    p25: float
+    p50: float
+    p75: float
+    p100: float
+
+
+def whisker_bins(
+    pairs: Sequence[tuple[float, float]],
+    bin_width: float,
+    max_value: float | None = None,
+) -> list[WhiskerBin]:
+    """Bin ``(x, y)`` pairs by ``x`` and compute Figure-2 whiskers of ``y``.
+
+    Args:
+        pairs: (distance, count) samples.
+        bin_width: width of each distance bin in metres.
+        max_value: optional cap; samples with x beyond it are dropped.
+
+    Returns:
+        Bins in increasing distance order; empty bins are omitted.
+    """
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    buckets: dict[int, list[float]] = {}
+    for x, y in pairs:
+        if max_value is not None and x > max_value:
+            continue
+        buckets.setdefault(int(x // bin_width), []).append(y)
+    bins = []
+    for b in sorted(buckets):
+        ys = buckets[b]
+        bins.append(
+            WhiskerBin(
+                lo=b * bin_width,
+                hi=(b + 1) * bin_width,
+                count=len(ys),
+                p10=percentile(ys, 10),
+                p25=percentile(ys, 25),
+                p50=percentile(ys, 50),
+                p75=percentile(ys, 75),
+                p100=percentile(ys, 100),
+            )
+        )
+    return bins
+
+
+def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean of a non-empty sample set."""
+    if not samples:
+        raise ValueError("mean of empty sample set is undefined")
+    return sum(samples) / len(samples)

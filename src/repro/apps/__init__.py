@@ -1,0 +1,26 @@
+"""Fallback-period applications (§1's application-delivery agenda):
+emergency broadcast, geospatial messaging, offline payments, and
+decentralized name resolution."""
+
+from .directory import Directory, DirectoryNode, DirectoryRecord, rendezvous_building
+from .emergency import Alert, BroadcastCoverage, RegionPolicy, broadcast_alert
+from .geocast import GeocastPolicy, GeocastResult, geocast
+from .payments import Cheque, Ledger, PaymentError, Wallet
+
+__all__ = [
+    "Alert",
+    "BroadcastCoverage",
+    "Cheque",
+    "Directory",
+    "DirectoryNode",
+    "DirectoryRecord",
+    "GeocastPolicy",
+    "GeocastResult",
+    "Ledger",
+    "PaymentError",
+    "RegionPolicy",
+    "Wallet",
+    "broadcast_alert",
+    "geocast",
+    "rendezvous_building",
+]

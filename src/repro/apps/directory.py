@@ -1,0 +1,143 @@
+"""Decentralized name resolution: a DNS stand-in for fallback periods.
+
+§1 asks "what features are required to enable existing applications to
+recover from lack of access to cloud servers and Internet services
+(e.g., DNS)".  The postbox layer already removes the CA; this module
+removes the directory: a *rendezvous* scheme maps any self-certifying
+name to a deterministic home building, where a directory record
+(name -> postbox address, signed by the name's own key) can be stored
+and queried.  Every node computes the same mapping from the shared
+city map, so lookups need no coordination — just one CityMesh unicast
+to the rendezvous building.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..city import City
+from ..postbox import KeyPair, PostboxAddress, verify
+
+
+def rendezvous_building(city: City, name: str, replicas: int = 1) -> list[int]:
+    """The building(s) responsible for storing a name's record.
+
+    Uses highest-random-weight (rendezvous) hashing over building ids,
+    so every node with the same map picks the same buildings, and the
+    assignment survives incremental map changes with minimal churn.
+
+    Raises:
+        ValueError: for an empty city or non-positive replica count.
+    """
+    if replicas < 1:
+        raise ValueError("need at least one replica")
+    if not city.buildings:
+        raise ValueError("cannot compute rendezvous in an empty city")
+    scored = sorted(
+        city.buildings,
+        key=lambda b: hashlib.sha256(
+            f"{name}|{b.id}".encode()
+        ).digest(),
+        reverse=True,
+    )
+    return [b.id for b in scored[:replicas]]
+
+
+@dataclass(frozen=True)
+class DirectoryRecord:
+    """A signed binding: name -> current postbox address."""
+
+    address: PostboxAddress
+    sequence: int
+    signature: bytes
+
+    def signed_body(self) -> bytes:
+        return b"citymesh-dir-v1|" + self.address.to_bytes() + b"|" + str(self.sequence).encode()
+
+    def is_authentic(self) -> bool:
+        """Self-certifying check: signed by the key the name hashes to."""
+        return verify(self.address.public_key, self.signed_body(), self.signature)
+
+    @staticmethod
+    def create(owner: KeyPair, address: PostboxAddress, sequence: int) -> "DirectoryRecord":
+        """Sign a binding with the owner's key.
+
+        Raises:
+            ValueError: if the address does not belong to the owner's key.
+        """
+        if address.public_key != owner.public:
+            raise ValueError("address key does not match the signing key")
+        body = b"citymesh-dir-v1|" + address.to_bytes() + b"|" + str(sequence).encode()
+        return DirectoryRecord(address=address, sequence=sequence, signature=owner.sign(body))
+
+
+@dataclass
+class DirectoryNode:
+    """The directory store running at one rendezvous building's AP."""
+
+    building_id: int
+    _records: dict[str, DirectoryRecord] = field(default_factory=dict)
+
+    def publish(self, record: DirectoryRecord) -> bool:
+        """Store a record.
+
+        Rejects forged records and stale sequence numbers (an attacker
+        cannot roll a victim's postbox back to an old building).
+        """
+        if not record.is_authentic():
+            return False
+        name = record.address.name
+        current = self._records.get(name)
+        if current is not None and current.sequence >= record.sequence:
+            return False
+        self._records[name] = record
+        return True
+
+    def lookup(self, name: str) -> DirectoryRecord | None:
+        """The freshest known record for a name, if any."""
+        return self._records.get(name)
+
+    def record_count(self) -> int:
+        """Number of names stored here."""
+        return len(self._records)
+
+
+@dataclass
+class Directory:
+    """The city-wide directory: rendezvous mapping plus per-building nodes.
+
+    This object simulates the aggregate behaviour; in a deployment the
+    ``DirectoryNode``s live on the rendezvous buildings' APs and are
+    reached via ordinary CityMesh unicast.
+    """
+
+    city: City
+    replicas: int = 2
+    _nodes: dict[int, DirectoryNode] = field(default_factory=dict)
+
+    def _node(self, building_id: int) -> DirectoryNode:
+        node = self._nodes.get(building_id)
+        if node is None:
+            node = DirectoryNode(building_id=building_id)
+            self._nodes[building_id] = node
+        return node
+
+    def publish(self, record: DirectoryRecord) -> list[int]:
+        """Publish to every replica; returns the buildings that stored it."""
+        stored = []
+        for building_id in rendezvous_building(
+            self.city, record.address.name, self.replicas
+        ):
+            if self._node(building_id).publish(record):
+                stored.append(building_id)
+        return stored
+
+    def lookup(self, name: str) -> DirectoryRecord | None:
+        """Query replicas in rendezvous order; freshest record wins."""
+        best: DirectoryRecord | None = None
+        for building_id in rendezvous_building(self.city, name, self.replicas):
+            record = self._node(building_id).lookup(name)
+            if record is not None and (best is None or record.sequence > best.sequence):
+                best = record
+        return best

@@ -1,0 +1,125 @@
+"""Geospatial messaging (geocast): deliver to a place, not a person.
+
+§1 lists "geospatial messaging" among the applications a DFN should
+re-enable — e.g. "anyone near the shelter on 5th street".  CityMesh
+makes this natural: the sender plans a building route to the building
+nearest the target point, and the *last* conduit is replaced by a
+delivery disc of radius R around the target.  APs inside the disc both
+rebroadcast and deliver to their attached users.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..buildgraph import NoRouteError
+from ..city import City
+from ..core import BuildingRouter
+from ..geometry import ConduitPath, ConduitRect, Point
+from ..mesh import APGraph, AccessPoint
+from ..sim import SimParams, simulate_broadcast
+
+
+@dataclass
+class GeocastPolicy:
+    """Rebroadcast iff inside the route conduits or the delivery disc."""
+
+    city: City
+    conduits: ConduitPath
+    target: Point
+    radius: float
+    _memo: dict[int, bool] | None = None
+
+    def should_rebroadcast(self, ap: AccessPoint) -> bool:
+        if self._memo is None:
+            self._memo = {}
+        verdict = self._memo.get(ap.building_id)
+        if verdict is None:
+            building = self.city.building(ap.building_id)
+            verdict = (
+                building.polygon.distance_to_point(self.target) <= self.radius
+                or self.conduits.intersects_polygon(building.polygon)
+            )
+            self._memo[ap.building_id] = verdict
+        return verdict
+
+
+@dataclass(frozen=True)
+class GeocastResult:
+    """Outcome of one geocast."""
+
+    delivered: bool
+    covered_buildings: int
+    target_buildings: int
+    transmissions: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of in-disc buildings that heard the message."""
+        if self.target_buildings == 0:
+            return 0.0
+        return self.covered_buildings / self.target_buildings
+
+
+def geocast(
+    city: City,
+    graph: APGraph,
+    router: BuildingRouter,
+    source_building: int,
+    target: Point,
+    radius: float,
+    rng: random.Random,
+    params: SimParams | None = None,
+) -> GeocastResult:
+    """Send a message to every building within ``radius`` of ``target``.
+
+    Args:
+        city: shared map.
+        graph: ground-truth AP mesh.
+        router: the sender's router (provides graph + conduit width).
+        source_building: where the sender is.
+        target: geographic destination point.
+        radius: delivery disc radius in metres.
+        rng: jitter randomness.
+        params: simulation knobs.
+
+    Raises:
+        ValueError: for a non-positive radius, or a target with no
+            mapped building anywhere near it.
+    """
+    if radius <= 0:
+        raise ValueError("geocast radius must be positive")
+    anchor = city.nearest_building(target)
+    if anchor is None:
+        raise ValueError("no building anywhere near the geocast target")
+    try:
+        plan = router.plan(source_building, anchor.id)
+        conduits = plan.conduits
+    except (NoRouteError, KeyError):
+        # No predicted route: fall back to a degenerate conduit at the
+        # source so at least local neighbours hear it.
+        centroid = city.building(source_building).centroid()
+        conduits = ConduitPath([ConduitRect(centroid, centroid, router.conduit_width)])
+
+    targets = [
+        b
+        for b in city.buildings
+        if graph.aps_in_building(b.id)
+        and b.polygon.distance_to_point(target) <= radius
+    ]
+    policy = GeocastPolicy(city=city, conduits=conduits, target=target, radius=radius)
+    src_aps = graph.aps_in_building(source_building)
+    if not src_aps:
+        return GeocastResult(False, 0, len(targets), 0)
+    result = simulate_broadcast(
+        graph, src_aps[0], dest_building=-1, policy=policy, rng=rng, params=params
+    )
+    heard_buildings = {graph.aps[ap].building_id for ap in result.heard}
+    covered = sum(1 for b in targets if b.id in heard_buildings)
+    return GeocastResult(
+        delivered=covered > 0,
+        covered_buildings=covered,
+        target_buildings=len(targets),
+        transmissions=result.transmissions,
+    )

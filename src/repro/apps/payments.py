@@ -1,0 +1,165 @@
+"""Offline payments: signed cheques with postbox-side reconciliation.
+
+§2 lists "access to a banking application for money" among disaster
+needs; §1 requires it to work "without the need for real-time access"
+to central servers.  The scheme here is deliberately minimal and
+matches what a fallback network can actually guarantee:
+
+- a payer issues a **cheque**: a signed (payer, payee, amount, serial)
+  tuple the payee can hold and later deposit,
+- double-spends are *detectable, not preventable*: each payer's serial
+  numbers must be strictly increasing, so a payer who re-uses or
+  back-dates a serial is exposed the moment any two of their cheques
+  meet at a reconciliation point (a postbox or, post-outage, the bank),
+- a :class:`Ledger` performs that reconciliation and tracks balances.
+
+This is the offline-payments trust model used by real disconnected
+systems (detect-and-punish), not a consensus protocol — a DFN cannot
+run city-wide consensus and the paper does not ask for one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..postbox import KeyPair, PublicKey, name_of, verify
+
+
+class PaymentError(ValueError):
+    """Raised for malformed or dishonest payment artefacts."""
+
+
+@dataclass(frozen=True)
+class Cheque:
+    """A signed offline payment promise."""
+
+    payer: PublicKey
+    payee_name: str
+    amount_cents: int
+    serial: int
+    signature: bytes
+
+    @property
+    def payer_name(self) -> str:
+        return name_of(self.payer)
+
+    def signed_body(self) -> bytes:
+        """The byte string the signature covers."""
+        return _cheque_body(self.payer, self.payee_name, self.amount_cents, self.serial)
+
+    def is_authentic(self) -> bool:
+        """Whether the payer's signature verifies."""
+        return verify(self.payer, self.signed_body(), self.signature)
+
+
+def _cheque_body(payer: PublicKey, payee_name: str, amount_cents: int, serial: int) -> bytes:
+    return b"|".join(
+        [
+            b"citymesh-cheque-v1",
+            payer.to_bytes(),
+            payee_name.encode(),
+            str(amount_cents).encode(),
+            str(serial).encode(),
+        ]
+    )
+
+
+@dataclass
+class Wallet:
+    """A participant's payment identity: keys plus a serial counter."""
+
+    keypair: KeyPair
+    next_serial: int = 1
+
+    @property
+    def name(self) -> str:
+        return name_of(self.keypair.public)
+
+    def write_cheque(self, payee_name: str, amount_cents: int) -> Cheque:
+        """Issue a cheque to a payee (by self-certifying name).
+
+        Raises:
+            PaymentError: for non-positive amounts.
+        """
+        if amount_cents <= 0:
+            raise PaymentError("cheque amount must be positive")
+        serial = self.next_serial
+        self.next_serial += 1
+        body = _cheque_body(self.keypair.public, payee_name, amount_cents, serial)
+        return Cheque(
+            payer=self.keypair.public,
+            payee_name=payee_name,
+            amount_cents=amount_cents,
+            serial=serial,
+            signature=self.keypair.sign(body),
+        )
+
+    def double_spend(self, payee_name: str, amount_cents: int, serial: int) -> Cheque:
+        """Forge a cheque reusing an old serial (for testing detection)."""
+        body = _cheque_body(self.keypair.public, payee_name, amount_cents, serial)
+        return Cheque(
+            payer=self.keypair.public,
+            payee_name=payee_name,
+            amount_cents=amount_cents,
+            serial=serial,
+            signature=self.keypair.sign(body),
+        )
+
+
+@dataclass
+class Ledger:
+    """A reconciliation point: accepts deposits, detects double-spends.
+
+    Balances may go negative — the ledger records what happened; debt
+    collection is out of band (§1's detect-and-punish model).
+    """
+
+    balances: dict[str, int] = field(default_factory=dict)
+    _seen_serials: dict[str, dict[int, Cheque]] = field(default_factory=dict)
+    flagged: set[str] = field(default_factory=set)
+
+    def deposit(self, cheque: Cheque) -> bool:
+        """Deposit a cheque.
+
+        Returns True when credited; False when rejected (bad signature
+        or a detected double-spend, which also flags the payer).
+
+        The *first* use of a serial is honoured even if the payer is
+        later flagged — honest payees who accepted a cheque in good
+        faith keep their money; the cheat is the one punished.
+        """
+        if not cheque.is_authentic():
+            return False
+        payer = cheque.payer_name
+        serials = self._seen_serials.setdefault(payer, {})
+        existing = serials.get(cheque.serial)
+        if existing is not None:
+            if existing != cheque:
+                # Same serial, different content: proof of double-spend.
+                self.flagged.add(payer)
+            return False
+        serials[cheque.serial] = cheque
+        self.balances[payer] = self.balances.get(payer, 0) - cheque.amount_cents
+        self.balances[cheque.payee_name] = (
+            self.balances.get(cheque.payee_name, 0) + cheque.amount_cents
+        )
+        return True
+
+    def merge(self, other: "Ledger") -> None:
+        """Reconcile with another ledger (e.g. another postbox's).
+
+        Deposits every cheque the other ledger has seen; double-spends
+        that were invisible to each ledger alone surface here.
+        """
+        for serials in other._seen_serials.values():
+            for cheque in serials.values():
+                self.deposit(cheque)
+        self.flagged |= other.flagged
+
+    def balance_of(self, name: str) -> int:
+        """Net cents for a participant (0 if never seen)."""
+        return self.balances.get(name, 0)
+
+    def is_flagged(self, name: str) -> bool:
+        """Whether a participant has a proven double-spend."""
+        return name in self.flagged

@@ -1,0 +1,20 @@
+"""Baseline routing schemes CityMesh is evaluated against."""
+
+from .aodv import aodv
+from .citymesh_runner import run_citymesh, run_flood, run_gossip
+from .greedy import greedy_geographic
+from .oracle import oracle_unicast
+from .outcome import RoutingOutcome
+from .perimeter import gabriel_graph, gpsr
+
+__all__ = [
+    "RoutingOutcome",
+    "aodv",
+    "gabriel_graph",
+    "gpsr",
+    "greedy_geographic",
+    "oracle_unicast",
+    "run_citymesh",
+    "run_flood",
+    "run_gossip",
+]

@@ -1,0 +1,81 @@
+"""Running CityMesh itself under the common baseline interface."""
+
+from __future__ import annotations
+
+import random
+
+from ..buildgraph import NoRouteError
+from ..city import City
+from ..core import BuildingRouter
+from ..mesh import APGraph
+from ..sim import (
+    ConduitPolicy,
+    FloodPolicy,
+    GossipPolicy,
+    SimParams,
+    simulate_broadcast,
+)
+from .outcome import RoutingOutcome
+
+
+def run_citymesh(
+    city: City,
+    graph: APGraph,
+    router: BuildingRouter,
+    source_ap: int,
+    dest_building: int,
+    rng: random.Random,
+    params: SimParams | None = None,
+) -> RoutingOutcome:
+    """One CityMesh delivery under the common outcome interface."""
+    src_building = graph.aps[source_ap].building_id
+    try:
+        plan = router.plan(src_building, dest_building)
+    except (NoRouteError, KeyError):
+        return RoutingOutcome("citymesh", False, 0)
+    policy = ConduitPolicy(plan.conduits, city)
+    result = simulate_broadcast(
+        graph, source_ap, dest_building, policy, rng, params=params
+    )
+    return RoutingOutcome(
+        scheme="citymesh",
+        delivered=result.delivered,
+        data_transmissions=result.transmissions,
+    )
+
+
+def run_flood(
+    graph: APGraph,
+    source_ap: int,
+    dest_building: int,
+    rng: random.Random,
+    params: SimParams | None = None,
+) -> RoutingOutcome:
+    """Blind flooding under the common outcome interface."""
+    result = simulate_broadcast(
+        graph, source_ap, dest_building, FloodPolicy(), rng, params=params
+    )
+    return RoutingOutcome(
+        scheme="flood",
+        delivered=result.delivered,
+        data_transmissions=result.transmissions,
+    )
+
+
+def run_gossip(
+    graph: APGraph,
+    source_ap: int,
+    dest_building: int,
+    p: float,
+    rng: random.Random,
+    params: SimParams | None = None,
+) -> RoutingOutcome:
+    """Probabilistic gossip under the common outcome interface."""
+    result = simulate_broadcast(
+        graph, source_ap, dest_building, GossipPolicy(p=p, rng=rng), rng, params=params
+    )
+    return RoutingOutcome(
+        scheme=f"gossip-{p:.2f}",
+        delivered=result.delivered,
+        data_transmissions=result.transmissions,
+    )

@@ -1,0 +1,71 @@
+"""Greedy geographic forwarding (the greedy mode of GPSR [27]).
+
+Each AP forwards the packet to its neighbour geographically closest to
+the destination, and fails at a local minimum ("void") where no
+neighbour is closer than itself.  The paper's related-work section
+argues such schemes degrade in cities; this baseline quantifies that.
+
+Unlike CityMesh, greedy forwarding needs every node to know its
+neighbours' positions (beaconing); the per-node beacon cost is modelled
+via ``beacon_cost_per_node``.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Point
+from ..mesh import APGraph
+from .outcome import RoutingOutcome
+
+MAX_HOPS_FACTOR = 4  # give up after 4x the AP count (loop guard)
+
+
+def greedy_geographic(
+    graph: APGraph,
+    source_ap: int,
+    dest_building: int,
+    dest_position: Point,
+    count_beacons: bool = False,
+) -> RoutingOutcome:
+    """Forward greedily towards ``dest_position``.
+
+    Args:
+        graph: ground-truth AP mesh (greedy nodes know one-hop
+            neighbour positions, as GPSR's beaconing provides).
+        source_ap: injecting AP.
+        dest_building: delivery succeeds when the packet reaches any AP
+            of this building.
+        dest_position: the geographic target (destination building
+            centroid — what a CityMesh-style map lookup would give).
+        count_beacons: when True, one beacon per mesh node is charged
+            as control traffic (a single round of neighbour discovery,
+            the bare minimum GPSR needs).
+    """
+    dest_aps = set(graph.aps_in_building(dest_building))
+    control = len(graph.aps) if count_beacons else 0
+    if not dest_aps:
+        return RoutingOutcome("greedy", False, 0, control)
+    current = source_ap
+    hops = 0
+    visited = {current}
+    limit = MAX_HOPS_FACTOR * len(graph.aps)
+    while hops < limit:
+        if current in dest_aps:
+            return RoutingOutcome(
+                "greedy", True, hops, control, path_hops=hops
+            )
+        current_d = graph.position(current).distance_to(dest_position)
+        best = None
+        best_d = current_d
+        for neighbor in graph.neighbors(current):
+            d = graph.position(neighbor).distance_to(dest_position)
+            if d < best_d:
+                best = neighbor
+                best_d = d
+        if best is None:
+            # Local minimum: greedy mode is stuck (GPSR would enter
+            # perimeter mode here; see perimeter.py for that variant).
+            return RoutingOutcome("greedy", False, hops, control)
+        current = best
+        visited.add(current)
+        hops += 1
+    return RoutingOutcome("greedy", False, hops, control)

@@ -1,0 +1,27 @@
+"""Oracle unicast: the lower bound used as the overhead denominator.
+
+§4 defines transmission overhead against "the minimum number of
+transmissions necessary to reach from source to destination for the
+same realization of AP placement" — i.e. BFS over the ground-truth AP
+graph, which no real protocol could know.
+"""
+
+from __future__ import annotations
+
+from ..mesh import APGraph
+from .outcome import RoutingOutcome
+
+
+def oracle_unicast(graph: APGraph, source_ap: int, dest_building: int) -> RoutingOutcome:
+    """Route along the true shortest AP path (omniscient baseline)."""
+    hops = graph.min_hops_to_building(source_ap, dest_building)
+    if hops is None:
+        return RoutingOutcome(
+            scheme="oracle", delivered=False, data_transmissions=0, path_hops=None
+        )
+    return RoutingOutcome(
+        scheme="oracle",
+        delivered=True,
+        data_transmissions=hops,
+        path_hops=hops,
+    )

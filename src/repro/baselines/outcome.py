@@ -1,0 +1,37 @@
+"""A common result type so baselines and CityMesh compare uniformly."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RoutingOutcome:
+    """Outcome of routing one packet with some scheme.
+
+    Attributes:
+        scheme: short name ("citymesh", "flood", "greedy", "aodv", …).
+        delivered: whether the packet reached the destination building.
+        data_transmissions: broadcasts/forwards of the data packet.
+        control_transmissions: control-plane packets spent (route
+            discovery floods, RREPs, beacons) — zero for stateless
+            schemes like CityMesh and flooding.
+        path_hops: data-path length in hops when known.
+    """
+
+    scheme: str
+    delivered: bool
+    data_transmissions: int
+    control_transmissions: int = 0
+    path_hops: int | None = None
+
+    @property
+    def total_transmissions(self) -> int:
+        """All packets put on the air for this delivery."""
+        return self.data_transmissions + self.control_transmissions
+
+    def overhead_vs(self, ideal_hops: int) -> float | None:
+        """Total transmissions per ideal-unicast hop (None if undefined)."""
+        if not self.delivered or ideal_hops <= 0:
+            return None
+        return self.total_transmissions / ideal_hops

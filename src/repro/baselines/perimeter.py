@@ -1,0 +1,159 @@
+"""GPSR with perimeter-mode recovery (Karp & Kung [27]).
+
+Greedy forwarding switches to perimeter mode at a void: the packet
+walks faces of a planarized connectivity graph (Gabriel graph) using
+the right-hand rule until it reaches a node closer to the destination
+than where it got stuck, then resumes greedy.  This is the strongest
+traditional geographic baseline the paper's related work discusses.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..geometry import Point
+from ..mesh import APGraph
+from .outcome import RoutingOutcome
+
+MAX_HOPS_FACTOR = 6
+
+
+def gabriel_graph(graph: APGraph) -> dict[int, list[int]]:
+    """Planarize the unit-disk graph with the Gabriel condition.
+
+    Edge (u, v) survives iff no other node lies inside the disc whose
+    diameter is uv.  The result is planar for nodes in general position
+    and keeps connectivity for unit-disk graphs.
+    """
+    adjacency: dict[int, list[int]] = {ap.id: [] for ap in graph.aps}
+    for ap in graph.aps:
+        u = ap.id
+        pu = ap.position
+        for v in graph.neighbors(u):
+            if v <= u:
+                continue
+            pv = graph.position(v)
+            mid = Point((pu.x + pv.x) / 2.0, (pu.y + pv.y) / 2.0)
+            radius = pu.distance_to(pv) / 2.0
+            blocked = False
+            for w in graph.aps_within(mid, radius):
+                if w != u and w != v and graph.position(w).distance_to(mid) < radius - 1e-9:
+                    blocked = True
+                    break
+            if not blocked:
+                adjacency[u].append(v)
+                adjacency[v].append(u)
+    return adjacency
+
+
+def _angle(a: Point, b: Point) -> float:
+    return math.atan2(b.y - a.y, b.x - a.x)
+
+
+def _right_hand_next(
+    planar: dict[int, list[int]],
+    graph: APGraph,
+    current: int,
+    came_from_angle: float,
+) -> int | None:
+    """The next edge counter-clockwise from the incoming direction.
+
+    Standard right-hand-rule face walk: among the current node's planar
+    neighbours, pick the one whose bearing is the smallest positive
+    rotation counter-clockwise from the reversed incoming edge.
+    """
+    neighbors = planar[current]
+    if not neighbors:
+        return None
+    p = graph.position(current)
+    best = None
+    best_turn = math.inf
+    for n in neighbors:
+        angle = _angle(p, graph.position(n))
+        turn = (angle - came_from_angle) % (2 * math.pi)
+        if turn < 1e-12:
+            turn = 2 * math.pi  # going straight back is the last resort
+        if turn < best_turn:
+            best_turn = turn
+            best = n
+    return best
+
+
+def gpsr(
+    graph: APGraph,
+    source_ap: int,
+    dest_building: int,
+    dest_position: Point,
+    planar: dict[int, list[int]] | None = None,
+    count_beacons: bool = False,
+) -> RoutingOutcome:
+    """GPSR: greedy forwarding with perimeter-mode recovery.
+
+    Args:
+        graph: ground-truth AP mesh.
+        source_ap: injecting AP.
+        dest_building: delivery target (any AP of this building).
+        dest_position: geographic destination (building centroid).
+        planar: a precomputed Gabriel graph (recomputed per call when
+            omitted; pass it explicitly when running many pairs).
+        count_beacons: charge one beacon per node as control traffic.
+    """
+    dest_aps = set(graph.aps_in_building(dest_building))
+    control = len(graph.aps) if count_beacons else 0
+    if not dest_aps:
+        return RoutingOutcome("gpsr", False, 0, control)
+    if planar is None:
+        planar = gabriel_graph(graph)
+
+    current = source_ap
+    hops = 0
+    limit = MAX_HOPS_FACTOR * len(graph.aps)
+    mode = "greedy"
+    perimeter_entry_d = math.inf
+    first_perimeter_edge: tuple[int, int] | None = None
+    prev = current
+
+    while hops < limit:
+        if current in dest_aps:
+            return RoutingOutcome("gpsr", True, hops, control, path_hops=hops)
+        current_d = graph.position(current).distance_to(dest_position)
+        if mode == "perimeter" and current_d < perimeter_entry_d:
+            mode = "greedy"
+        if mode == "greedy":
+            best = None
+            best_d = current_d
+            for neighbor in graph.neighbors(current):
+                d = graph.position(neighbor).distance_to(dest_position)
+                if d < best_d:
+                    best = neighbor
+                    best_d = d
+            if best is not None:
+                prev, current = current, best
+                hops += 1
+                continue
+            # Void: switch to perimeter mode.
+            mode = "perimeter"
+            perimeter_entry_d = current_d
+            first_perimeter_edge = None
+            # First perimeter hop: walk the face bordering the line to
+            # the destination — start from the bearing towards it.
+            incoming = _angle(graph.position(current), dest_position)
+            nxt = _right_hand_next(planar, graph, current, incoming)
+            if nxt is None:
+                return RoutingOutcome("gpsr", False, hops, control)
+            first_perimeter_edge = (current, nxt)
+            prev, current = current, nxt
+            hops += 1
+            continue
+        # Perimeter mode: continue the face walk.
+        incoming = _angle(graph.position(current), graph.position(prev))
+        nxt = _right_hand_next(planar, graph, current, incoming)
+        if nxt is None:
+            return RoutingOutcome("gpsr", False, hops, control)
+        if (current, nxt) == first_perimeter_edge:
+            # Completed a full loop around the face: destination is
+            # unreachable from this face.
+            return RoutingOutcome("gpsr", False, hops, control)
+        prev, current = current, nxt
+        hops += 1
+    return RoutingOutcome("gpsr", False, hops, control)

@@ -1,0 +1,38 @@
+"""City models and synthetic city generators."""
+
+from .blocks import clear_of_obstacles, l_shaped_building, rotated_rectangle, subdivide_block
+from .generators import (
+    campus,
+    fractured_city,
+    grid_downtown,
+    metro_city,
+    old_town,
+    park_city,
+    residential,
+    river_city,
+)
+from .model import Building, BuildingId, City, Obstacle, city_from_footprints
+from .presets import CITY_PRESETS, make_city, preset_names
+
+__all__ = [
+    "CITY_PRESETS",
+    "Building",
+    "BuildingId",
+    "City",
+    "Obstacle",
+    "campus",
+    "city_from_footprints",
+    "clear_of_obstacles",
+    "fractured_city",
+    "grid_downtown",
+    "l_shaped_building",
+    "make_city",
+    "metro_city",
+    "old_town",
+    "park_city",
+    "preset_names",
+    "residential",
+    "river_city",
+    "rotated_rectangle",
+    "subdivide_block",
+]

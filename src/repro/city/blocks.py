@@ -1,0 +1,91 @@
+"""Block- and lot-level helpers shared by the city generators."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..geometry import Point, Polygon
+
+
+def subdivide_block(
+    min_x: float,
+    min_y: float,
+    max_x: float,
+    max_y: float,
+    rng: random.Random,
+    lots_x: int = 2,
+    lots_y: int = 2,
+    setback: float = 3.0,
+    occupancy: float = 1.0,
+    jitter: float = 0.15,
+) -> list[Polygon]:
+    """Split a rectangular block into a grid of building footprints.
+
+    Each lot receives one rectangular building inset by ``setback`` on
+    every side, with the inner edges jittered by up to ``jitter`` of
+    the lot size so footprints are not perfectly regular.  A lot is
+    skipped with probability ``1 - occupancy`` (vacant lot).
+    """
+    if lots_x < 1 or lots_y < 1:
+        raise ValueError("lot counts must be at least 1")
+    if not 0 <= occupancy <= 1:
+        raise ValueError(f"occupancy must be in [0, 1], got {occupancy}")
+    lot_w = (max_x - min_x) / lots_x
+    lot_h = (max_y - min_y) / lots_y
+    buildings: list[Polygon] = []
+    for ix in range(lots_x):
+        for iy in range(lots_y):
+            if rng.random() > occupancy:
+                continue
+            lx = min_x + ix * lot_w
+            ly = min_y + iy * lot_h
+            jx = jitter * lot_w
+            jy = jitter * lot_h
+            b_min_x = lx + setback + rng.uniform(0, jx)
+            b_min_y = ly + setback + rng.uniform(0, jy)
+            b_max_x = lx + lot_w - setback - rng.uniform(0, jx)
+            b_max_y = ly + lot_h - setback - rng.uniform(0, jy)
+            if b_max_x - b_min_x < 4.0 or b_max_y - b_min_y < 4.0:
+                continue
+            buildings.append(Polygon.rectangle(b_min_x, b_min_y, b_max_x, b_max_y))
+    return buildings
+
+
+def rotated_rectangle(
+    center: Point, width: float, height: float, angle: float
+) -> Polygon:
+    """A rectangle of the given dimensions rotated by ``angle`` radians."""
+    if width <= 0 or height <= 0:
+        raise ValueError("rectangle dimensions must be positive")
+    c, s = math.cos(angle), math.sin(angle)
+    hw, hh = width / 2.0, height / 2.0
+    corners = [(-hw, -hh), (hw, -hh), (hw, hh), (-hw, hh)]
+    return Polygon(
+        [Point(center.x + x * c - y * s, center.y + x * s + y * c) for x, y in corners]
+    )
+
+
+def l_shaped_building(
+    min_x: float, min_y: float, max_x: float, max_y: float, notch_fraction: float = 0.5
+) -> Polygon:
+    """An L-shaped footprint: the bounding rect minus a corner notch."""
+    if not 0 < notch_fraction < 1:
+        raise ValueError("notch_fraction must be in (0, 1)")
+    nx = min_x + (max_x - min_x) * notch_fraction
+    ny = min_y + (max_y - min_y) * notch_fraction
+    return Polygon(
+        [
+            Point(min_x, min_y),
+            Point(max_x, min_y),
+            Point(max_x, ny),
+            Point(nx, ny),
+            Point(nx, max_y),
+            Point(min_x, max_y),
+        ]
+    )
+
+
+def clear_of_obstacles(polygon: Polygon, obstacle_polygons: list[Polygon]) -> bool:
+    """Whether a candidate footprint avoids every obstacle region."""
+    return all(polygon.distance_to_polygon(obs) > 0.0 for obs in obstacle_polygons)

@@ -1,0 +1,336 @@
+"""Synthetic city generators.
+
+These stand in for the OSM extracts of real cities used by the paper
+(Boston, Washington D.C., …).  Each generator is deterministic in its
+seed and reproduces one urban morphology the paper's evaluation hinges
+on: dense downtown grids, campuses, low-density residential areas, and
+cities fractured by rivers / parks / highways (the features §4 blames
+for failed deliverability).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..geometry import GridIndex, Point, Polygon
+from .blocks import clear_of_obstacles, l_shaped_building, rotated_rectangle, subdivide_block
+from .model import Building, City, Obstacle
+
+
+def _assemble(
+    name: str,
+    polygons: list[Polygon],
+    obstacles: list[Obstacle],
+    kind: str,
+) -> City:
+    obstacle_polys = [o.polygon for o in obstacles]
+    buildings = []
+    next_id = 1
+    for poly in polygons:
+        if obstacle_polys and not clear_of_obstacles(poly, obstacle_polys):
+            continue
+        buildings.append(Building(id=next_id, polygon=poly, kind=kind))
+        next_id += 1
+    return City(name=name, buildings=buildings, obstacles=obstacles)
+
+
+def grid_downtown(
+    seed: int = 0,
+    blocks_x: int = 8,
+    blocks_y: int = 8,
+    block_size: float = 90.0,
+    street_width: float = 14.0,
+    lots_per_block: int = 2,
+    occupancy: float = 0.95,
+    name: str = "downtown",
+    obstacles: list[Obstacle] | None = None,
+) -> City:
+    """A dense Manhattan-grid downtown: the paper's best-connected case.
+
+    Blocks of ``block_size`` metres separated by ``street_width`` metre
+    streets; each block is subdivided into ``lots_per_block``^2 lots.
+    """
+    rng = random.Random(seed)
+    pitch = block_size + street_width
+    polygons: list[Polygon] = []
+    for bx in range(blocks_x):
+        for by in range(blocks_y):
+            x0 = bx * pitch
+            y0 = by * pitch
+            polygons.extend(
+                subdivide_block(
+                    x0,
+                    y0,
+                    x0 + block_size,
+                    y0 + block_size,
+                    rng,
+                    lots_x=lots_per_block,
+                    lots_y=lots_per_block,
+                    setback=2.0,
+                    occupancy=occupancy,
+                    jitter=0.08,
+                )
+            )
+    return _assemble(name, polygons, obstacles or [], kind="commercial")
+
+
+def residential(
+    seed: int = 0,
+    blocks_x: int = 7,
+    blocks_y: int = 7,
+    block_size: float = 120.0,
+    street_width: float = 14.0,
+    name: str = "residential",
+    obstacles: list[Obstacle] | None = None,
+) -> City:
+    """A low-density residential area: detached houses with yards.
+
+    Houses are ~15x15 m (roughly one AP each at the paper's reference
+    density) on ~30 m lots, so inter-building gaps are much larger than
+    downtown and per-building AP counts are small.
+    """
+    rng = random.Random(seed)
+    pitch = block_size + street_width
+    polygons: list[Polygon] = []
+    for bx in range(blocks_x):
+        for by in range(blocks_y):
+            x0 = bx * pitch
+            y0 = by * pitch
+            polygons.extend(
+                subdivide_block(
+                    x0,
+                    y0,
+                    x0 + block_size,
+                    y0 + block_size,
+                    rng,
+                    lots_x=4,
+                    lots_y=4,
+                    setback=5.5,
+                    occupancy=0.9,
+                    jitter=0.12,
+                )
+            )
+    return _assemble(name, polygons, obstacles or [], kind="house")
+
+
+def campus(
+    seed: int = 0,
+    extent: float = 750.0,
+    building_count: int | None = None,
+    name: str = "campus",
+) -> City:
+    """A university campus: large irregular buildings around open quads.
+
+    Buildings are a mix of big rectangles, L-shapes, and polygonal
+    halls, placed with a minimum separation; two quads are kept as
+    park obstacles.
+    """
+    rng = random.Random(seed)
+    quads = [
+        Obstacle(Polygon.rectangle(extent * 0.30, extent * 0.30, extent * 0.46, extent * 0.46), "park"),
+        Obstacle(Polygon.rectangle(extent * 0.58, extent * 0.55, extent * 0.74, extent * 0.70), "park"),
+    ]
+    quad_polys = [q.polygon for q in quads]
+    # Halls sit on a loose grid (campuses are planned spaces) with
+    # jittered positions, irregular shapes, and occasional lawn cells.
+    pitch = 72.0
+    cells = max(1, int(extent // pitch))
+    placed: list[Polygon] = []
+    for gx in range(cells):
+        for gy in range(cells):
+            if building_count is not None and len(placed) >= building_count:
+                break
+            if rng.random() < 0.10:
+                continue  # lawn / parking cell
+            cx = (gx + 0.5) * pitch + rng.uniform(-8, 8)
+            cy = (gy + 0.5) * pitch + rng.uniform(-8, 8)
+            w = rng.uniform(48, 66)
+            h = rng.uniform(42, 60)
+            shape = rng.random()
+            if shape < 0.5:
+                poly = rotated_rectangle(Point(cx, cy), w, h, rng.uniform(0, math.pi / 12))
+            elif shape < 0.8:
+                poly = l_shaped_building(cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2)
+            else:
+                poly = Polygon.regular(Point(cx, cy), min(w, h) / 2, sides=6)
+            if not clear_of_obstacles(poly, quad_polys):
+                continue
+            if any(poly.distance_to_polygon(prev) < 6.0 for prev in placed[-(cells + 2):]):
+                continue
+            placed.append(poly)
+    return _assemble(name, placed, quads, kind="academic")
+
+
+def river_city(
+    seed: int = 0,
+    blocks_x: int = 8,
+    blocks_y: int = 8,
+    river_width: float = 150.0,
+    bridges: int = 0,
+    name: str = "rivertown",
+) -> City:
+    """A downtown split by a horizontal river.
+
+    With ``bridges == 0`` and a river wider than twice the Wi-Fi range,
+    the city fractures into two islands (the paper's Washington D.C.
+    effect).  Each bridge adds one long narrow structure spanning the
+    water whose APs restore connectivity between the banks — the §4
+    proposal of "a small number of well-placed APs" bridging islands.
+    """
+    base = grid_downtown(seed=seed, blocks_x=blocks_x, blocks_y=blocks_y, name=name)
+    min_x, min_y, max_x, max_y = base.bounds()
+    mid_y = (min_y + max_y) / 2.0
+    river = Obstacle(
+        Polygon.rectangle(
+            min_x - 50, mid_y - river_width / 2, max_x + 50, mid_y + river_width / 2
+        ),
+        "water",
+    )
+    polygons = [b.polygon for b in base.buildings]
+    rng = random.Random(seed + 1)
+    bridge_polys: list[Polygon] = []
+    if bridges > 0:
+        span = (max_x - min_x) / (bridges + 1)
+        for i in range(1, bridges + 1):
+            bx = min_x + i * span + rng.uniform(-10, 10)
+            # One continuous bridge structure spanning the river plus a
+            # 25 m approach on each bank; wide enough (12 m) that at the
+            # reference density its expected AP count covers the span
+            # with sub-range spacing.
+            bridge_polys.append(
+                Polygon.rectangle(
+                    bx - 8,
+                    mid_y - river_width / 2 - 25,
+                    bx + 8,
+                    mid_y + river_width / 2 + 25,
+                )
+            )
+    city = _assemble(name, polygons, [river], kind="commercial")
+    # Bridge structures are appended after obstacle filtering on purpose:
+    # they intentionally sit over the water.
+    next_id = max((b.id for b in city.buildings), default=0) + 1
+    extended = list(city.buildings)
+    for poly in bridge_polys:
+        extended.append(Building(id=next_id, polygon=poly, kind="bridge"))
+        next_id += 1
+    return City(name=name, buildings=extended, obstacles=[river])
+
+
+def park_city(
+    seed: int = 0,
+    blocks_x: int = 9,
+    blocks_y: int = 9,
+    park_fraction: float = 0.30,
+    name: str = "parkside",
+) -> City:
+    """A downtown with a large central park the routes must go around."""
+    base = grid_downtown(seed=seed, blocks_x=blocks_x, blocks_y=blocks_y, name=name)
+    min_x, min_y, max_x, max_y = base.bounds()
+    w = (max_x - min_x) * park_fraction
+    h = (max_y - min_y) * park_fraction
+    cx = (min_x + max_x) / 2
+    cy = (min_y + max_y) / 2
+    park = Obstacle(
+        Polygon.rectangle(cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2), "park"
+    )
+    return _assemble(name, [b.polygon for b in base.buildings], [park], "commercial")
+
+
+def fractured_city(
+    seed: int = 0,
+    blocks_x: int = 10,
+    blocks_y: int = 10,
+    highway_width: float = 70.0,
+    river_width: float = 140.0,
+    name: str = "capitolia",
+) -> City:
+    """A city fractured into islands by a river plus two highways.
+
+    Models the paper's observation that "large features such as
+    highways, parks, and bodies of water … fracture some cities, like
+    Washington D.C., into multiple islands of connectivity."
+    """
+    base = grid_downtown(seed=seed, blocks_x=blocks_x, blocks_y=blocks_y, name=name)
+    min_x, min_y, max_x, max_y = base.bounds()
+    cx = (min_x + max_x) / 2
+    cy = (min_y + max_y) / 2
+    obstacles = [
+        Obstacle(
+            Polygon.rectangle(min_x - 50, cy - river_width / 2, max_x + 50, cy + river_width / 2),
+            "water",
+        ),
+        Obstacle(
+            Polygon.rectangle(cx - highway_width / 2, min_y - 50, cx + highway_width / 2, max_y + 50),
+            "highway",
+        ),
+        Obstacle(
+            Polygon.rectangle(
+                min_x + (max_x - min_x) * 0.78 - highway_width / 2,
+                min_y - 50,
+                min_x + (max_x - min_x) * 0.78 + highway_width / 2,
+                max_y + 50,
+            ),
+            "highway",
+        ),
+    ]
+    return _assemble(name, [b.polygon for b in base.buildings], obstacles, "commercial")
+
+
+def metro_city(
+    seed: int = 0,
+    blocks: int = 18,
+    parks: int = 5,
+    name: str = "metropolis",
+) -> City:
+    """A city-scale downtown with scattered parks.
+
+    Used for the §4 header-size experiment: routes here are several
+    kilometres long and must bend around multiple parks, which is the
+    regime behind the paper's ~175-bit median compressed headers.
+    """
+    rng = random.Random(seed + 7)
+    base = grid_downtown(seed=seed, blocks_x=blocks, blocks_y=blocks, name=name)
+    min_x, min_y, max_x, max_y = base.bounds()
+    span_x = max_x - min_x
+    span_y = max_y - min_y
+    obstacles: list[Obstacle] = []
+    for _ in range(parks):
+        w = rng.uniform(0.10, 0.18) * span_x
+        h = rng.uniform(0.10, 0.18) * span_y
+        cx = rng.uniform(min_x + w, max_x - w)
+        cy = rng.uniform(min_y + h, max_y - h)
+        obstacles.append(
+            Obstacle(Polygon.rectangle(cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2), "park")
+        )
+    return _assemble(name, [b.polygon for b in base.buildings], obstacles, "commercial")
+
+
+def old_town(
+    seed: int = 0,
+    radius: float = 450.0,
+    building_count: int = 420,
+    name: str = "oldtown",
+) -> City:
+    """An irregular pre-grid old town: dense rotated footprints, denser
+    towards the centre, no street grid."""
+    rng = random.Random(seed)
+    placed: list[Polygon] = []
+    index: GridIndex[int] = GridIndex(cell_size=50.0)
+    attempts = 0
+    while len(placed) < building_count and attempts < building_count * 80:
+        attempts += 1
+        # Bias towards the centre: sqrt-free radial sampling overweights
+        # small radii, mimicking a medieval core.
+        r = radius * rng.random() ** 0.7
+        theta = rng.uniform(0, 2 * math.pi)
+        center = Point(radius + r * math.cos(theta), radius + r * math.sin(theta))
+        w = rng.uniform(12, 30)
+        h = rng.uniform(10, 26)
+        poly = rotated_rectangle(center, w, h, rng.uniform(0, math.pi))
+        near = index.query_radius(center, radius=45.0)
+        if any(poly.distance_to_polygon(placed[i]) < 4.0 for i in near):
+            continue
+        index.insert(len(placed), center)
+        placed.append(poly)
+    return _assemble(name, placed, [], kind="mixed")

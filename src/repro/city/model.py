@@ -1,0 +1,137 @@
+"""The city model: buildings, obstacles, and map-level queries.
+
+A :class:`City` is what the OSM "compile footprints" step produces and
+what every downstream stage (AP placement, building graph, routing,
+rendering) consumes.  Obstacles are the connectivity-fracturing
+features the paper calls out — rivers, parks, highways — regions that
+contain no buildings and therefore no APs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..geometry import GridIndex, Point, Polygon
+
+BuildingId = int
+
+
+@dataclass(frozen=True)
+class Building:
+    """One building footprint participating in CityMesh."""
+
+    id: BuildingId
+    polygon: Polygon
+    kind: str = "building"
+
+    def centroid(self) -> Point:
+        """The footprint's area centroid (used as the routing anchor)."""
+        return self.polygon.centroid()
+
+    def area(self) -> float:
+        """Footprint area in square metres."""
+        return self.polygon.area()
+
+
+@dataclass(frozen=True)
+class Obstacle:
+    """A no-building region: ``kind`` is 'water', 'park', or 'highway'."""
+
+    polygon: Polygon
+    kind: str
+
+
+@dataclass
+class City:
+    """A named city map: buildings plus obstacles in a planar frame."""
+
+    name: str
+    buildings: list[Building]
+    obstacles: list[Obstacle] = field(default_factory=list)
+    _by_id: dict[BuildingId, Building] = field(init=False, repr=False)
+    _centroid_index: GridIndex[BuildingId] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_id = {}
+        for b in self.buildings:
+            if b.id in self._by_id:
+                raise ValueError(f"duplicate building id {b.id} in city {self.name!r}")
+            self._by_id[b.id] = b
+        self._centroid_index = GridIndex(cell_size=100.0)
+        for b in self.buildings:
+            self._centroid_index.insert(b.id, b.centroid())
+
+    def __len__(self) -> int:
+        return len(self.buildings)
+
+    def __iter__(self) -> Iterator[Building]:
+        return iter(self.buildings)
+
+    def building(self, building_id: BuildingId) -> Building:
+        """Look up a building by id.
+
+        Raises:
+            KeyError: if the id is unknown.
+        """
+        return self._by_id[building_id]
+
+    def has_building(self, building_id: BuildingId) -> bool:
+        """Whether the id names a building in this city."""
+        return building_id in self._by_id
+
+    def bounds(self) -> tuple[float, float, float, float]:
+        """Bounding box over all buildings and obstacles.
+
+        Raises:
+            ValueError: for an empty city.
+        """
+        boxes = [b.polygon.bbox for b in self.buildings]
+        boxes.extend(o.polygon.bbox for o in self.obstacles)
+        if not boxes:
+            raise ValueError(f"city {self.name!r} is empty")
+        return (
+            min(b[0] for b in boxes),
+            min(b[1] for b in boxes),
+            max(b[2] for b in boxes),
+            max(b[3] for b in boxes),
+        )
+
+    def total_building_area(self) -> float:
+        """Sum of all footprint areas (drives AP counts at fixed density)."""
+        return sum(b.area() for b in self.buildings)
+
+    def buildings_near(self, p: Point, radius: float) -> list[Building]:
+        """Buildings whose centroid is within ``radius`` of ``p``."""
+        ids = self._centroid_index.query_radius(p, radius)
+        return [self._by_id[i] for i in ids]
+
+    def building_containing(self, p: Point) -> Building | None:
+        """The building whose footprint contains ``p``, if any.
+
+        Checks nearby candidates only (centroids within 200 m), which is
+        ample for city-block-sized footprints.
+        """
+        for b in self.buildings_near(p, 200.0):
+            if b.polygon.contains(p):
+                return b
+        return None
+
+    def nearest_building(self, p: Point) -> Building | None:
+        """The building with centroid nearest ``p`` (None for empty city)."""
+        bid = self._centroid_index.nearest(p)
+        return None if bid is None else self._by_id[bid]
+
+
+def city_from_footprints(
+    name: str, footprints: Iterable, obstacles: Iterable[Obstacle] = ()
+) -> City:
+    """Build a city from OSM footprints (see :mod:`repro.osm.footprints`).
+
+    Building ids are the OSM way ids.
+    """
+    buildings = [
+        Building(id=f.osm_id, polygon=f.polygon, kind=f.tags.get("building", "yes"))
+        for f in footprints
+    ]
+    return City(name=name, buildings=buildings, obstacles=list(obstacles))

@@ -1,0 +1,62 @@
+"""Named city presets for the Figure 6 multi-city evaluation.
+
+The paper surveys several real cities (Boston, Washington D.C., …);
+we substitute eight synthetic cities spanning the same morphology
+space.  Names are fictional; the mapping to the paper's archetypes is
+given in each entry's docstring line.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .generators import (
+    campus,
+    fractured_city,
+    grid_downtown,
+    old_town,
+    park_city,
+    residential,
+    river_city,
+)
+from .model import City
+
+CityFactory = Callable[[int], City]
+
+CITY_PRESETS: dict[str, CityFactory] = {
+    # Dense downtown grid — the paper's best case (Boston downtown).
+    "gridport": lambda seed: grid_downtown(seed=seed, name="gridport"),
+    # University campus with quads (MIT campus area).
+    "collegium": lambda seed: campus(seed=seed, name="collegium"),
+    # Low-density residential area.
+    "suburbia": lambda seed: residential(seed=seed, name="suburbia"),
+    # River-split city with two bridges — connectable across the water.
+    "pontsville": lambda seed: river_city(seed=seed, bridges=2, name="pontsville"),
+    # River-split city with no bridges — fractures into two islands.
+    "riverton": lambda seed: river_city(seed=seed, bridges=0, name="riverton"),
+    # Large central park the routes must skirt.
+    "parkside": lambda seed: park_city(seed=seed, name="parkside"),
+    # River + highways fracture the city into islands (Washington D.C.).
+    "capitolia": lambda seed: fractured_city(seed=seed, name="capitolia"),
+    # Irregular medieval core with no street grid.
+    "oldtown": lambda seed: old_town(seed=seed, name="oldtown"),
+}
+
+
+def make_city(name: str, seed: int = 0) -> City:
+    """Instantiate a preset city by name.
+
+    Raises:
+        KeyError: for an unknown preset name.
+    """
+    try:
+        factory = CITY_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(CITY_PRESETS))
+        raise KeyError(f"unknown city preset {name!r}; known presets: {known}") from None
+    return factory(seed)
+
+
+def preset_names() -> list[str]:
+    """All preset names in evaluation order."""
+    return list(CITY_PRESETS)

@@ -1,0 +1,261 @@
+"""Command-line interface: regenerate any table or figure.
+
+Examples::
+
+    python -m repro table1
+    python -m repro fig6 --reach-pairs 200 --delivery-pairs 20
+    python -m repro fig7 --city parkside --seed 3
+    python -m repro ablation-width
+    python -m repro all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    compare_membership,
+    export_all,
+    format_calibration,
+    format_capacity,
+    run_calibration,
+    run_capacity_sweep,
+    format_replication,
+    format_scaling,
+    replicate_fig6,
+    run_scaling,
+    format_baselines,
+    format_bridging,
+    format_compromise,
+    format_fig1,
+    format_fig2,
+    format_fig5,
+    format_fig6,
+    format_header_stats,
+    format_sweep,
+    format_table1,
+    run_baseline_comparison,
+    run_bridging,
+    run_compromise_sweep,
+    run_fig1,
+    run_fig2,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_header_stats,
+    run_table1,
+    sweep_ap_density,
+    sweep_conduit_width,
+    sweep_weight_exponent,
+)
+from .measurement import run_study
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="citymesh",
+        description="CityMesh reproduction: regenerate the paper's tables and figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in [
+        ("table1", "war-driving summary table"),
+        ("fig1", "CDFs of MACs per scan and per-MAC spread"),
+        ("fig2", "common APs vs measurement-pair distance"),
+    ]:
+        p = sub.add_parser(name, help=help_text)
+        _add_common(p)
+        if name == "fig1":
+            p.add_argument("--plot", action="store_true", help="ASCII CDF charts")
+
+    p = sub.add_parser("fig5", help="downtown footprints and AP mesh rendering")
+    _add_common(p)
+    p.add_argument("--blocks", type=int, default=6)
+
+    p = sub.add_parser("fig6", help="reachability / deliverability / overhead per city")
+    _add_common(p)
+    p.add_argument("--reach-pairs", type=int, default=1000)
+    p.add_argument("--delivery-pairs", type=int, default=50)
+    p.add_argument("--cities", nargs="*", default=None)
+    p.add_argument("--plot", action="store_true", help="ASCII bar charts")
+
+    p = sub.add_parser("fig7", help="render one simulated delivery")
+    _add_common(p)
+    p.add_argument("--city", default="gridport")
+
+    p = sub.add_parser("header", help="compressed-route header sizes")
+    _add_common(p)
+    p.add_argument("--pairs", type=int, default=150)
+
+    p = sub.add_parser("ablation-width", help="conduit width sweep")
+    _add_common(p)
+    p = sub.add_parser("ablation-weights", help="edge-weight exponent sweep")
+    _add_common(p)
+    p = sub.add_parser("ablation-density", help="AP density sweep")
+    _add_common(p)
+    p = sub.add_parser("ablation-membership", help="building vs AP-position membership")
+    _add_common(p)
+
+    p = sub.add_parser("baselines", help="CityMesh vs flood/gossip/greedy/GPSR/AODV")
+    _add_common(p)
+    p.add_argument("--city", default="gridport")
+    p.add_argument("--pairs", type=int, default=30)
+
+    p = sub.add_parser("security", help="deliverability under compromised APs")
+    _add_common(p)
+    p.add_argument("--city", default="gridport")
+
+    p = sub.add_parser("bridging", help="island bridging before/after")
+    _add_common(p)
+    p.add_argument("--cities", nargs="*", default=["riverton", "capitolia"])
+
+    p = sub.add_parser("calibration", help="building-graph predictor precision/recall")
+    _add_common(p)
+    p.add_argument("--city", default="gridport")
+
+    p = sub.add_parser("capacity", help="delivery rate vs offered load")
+    _add_common(p)
+    p.add_argument("--city", default="gridport")
+
+    p = sub.add_parser("replicate", help="fig6 across seeds with error bars")
+    _add_common(p)
+    p.add_argument("--cities", nargs="*", default=["gridport", "riverton"])
+    p.add_argument("--num-seeds", type=int, default=5)
+
+    p = sub.add_parser("scaling", help="per-node control traffic vs network size (section 5)")
+    _add_common(p)
+
+    p = sub.add_parser("export", help="write every artefact as CSV/text files")
+    _add_common(p)
+    p.add_argument("--out", default="results")
+    p.add_argument("--quick", action="store_true")
+
+    p = sub.add_parser("all", help="run every experiment")
+    _add_common(p)
+    p.add_argument("--quick", action="store_true", help="reduced sample sizes")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    seed = args.seed
+
+    if args.command in ("table1", "fig1", "fig2"):
+        datasets = run_study(seed=seed)
+        if args.command == "table1":
+            print(format_table1(run_table1(seed=seed, datasets=datasets)))
+        elif args.command == "fig1":
+            areas = run_fig1(seed=seed, datasets=datasets)
+            print(format_fig1(areas))
+            if args.plot:
+                from .experiments import fig1_series
+                from .viz import cdf_chart
+
+                series = fig1_series(areas, points=60)
+                print("\nFigure 1a: MACs per measurement")
+                print(cdf_chart(
+                    {a: s["macs_per_scan"] for a, s in series.items()},
+                    x_label="MACs per scan",
+                ))
+                print("\nFigure 1b: per-MAC location spread")
+                print(cdf_chart(
+                    {a: s["spread_m"] for a, s in series.items()},
+                    x_label="spread (m)",
+                ))
+        else:
+            print(format_fig2(run_fig2(seed=seed, datasets=datasets)))
+    elif args.command == "fig5":
+        print(format_fig5(run_fig5(seed=seed, blocks=args.blocks)))
+    elif args.command == "fig6":
+        rows = run_fig6(
+            seed=seed,
+            cities=args.cities,
+            reach_pairs=args.reach_pairs,
+            delivery_pairs=args.delivery_pairs,
+        )
+        print(format_fig6(rows))
+        if args.plot:
+            from .viz import ascii_bar_chart
+
+            print("\nreachability:")
+            print(ascii_bar_chart([r.city for r in rows],
+                                  [r.reachability for r in rows], max_value=1.0))
+            print("\ndeliverability given reachability:")
+            print(ascii_bar_chart([r.city for r in rows],
+                                  [r.deliverability for r in rows], max_value=1.0))
+    elif args.command == "fig7":
+        print(run_fig7(seed=seed, city_name=args.city).art)
+    elif args.command == "header":
+        print(format_header_stats(run_header_stats(seed=seed, pairs=args.pairs)))
+    elif args.command == "ablation-width":
+        print(format_sweep(sweep_conduit_width(seed=seed), "width (m)", "Conduit width sweep"))
+    elif args.command == "ablation-weights":
+        print(
+            format_sweep(
+                sweep_weight_exponent(seed=seed), "exponent", "Edge-weight exponent sweep"
+            )
+        )
+    elif args.command == "ablation-density":
+        print(format_sweep(sweep_ap_density(seed=seed), "m^2 per AP", "AP density sweep"))
+    elif args.command == "ablation-membership":
+        c = compare_membership(seed=seed)
+        print(
+            f"building membership: {c.building_delivered}/{c.attempted} delivered, "
+            f"median tx {c.building_median_tx}\n"
+            f"AP-position membership: {c.position_delivered}/{c.attempted} delivered, "
+            f"median tx {c.position_median_tx}"
+        )
+    elif args.command == "baselines":
+        print(format_baselines(run_baseline_comparison(args.city, seed=seed, pairs=args.pairs)))
+    elif args.command == "security":
+        print(format_compromise(run_compromise_sweep(args.city, seed=seed)))
+    elif args.command == "bridging":
+        results = [run_bridging(city, seed=seed) for city in args.cities]
+        print(format_bridging(results))
+    elif args.command == "calibration":
+        print(format_calibration(run_calibration(args.city, seed=seed)))
+    elif args.command == "capacity":
+        print(format_capacity(run_capacity_sweep(args.city, seed=seed)))
+    elif args.command == "replicate":
+        results = [
+            replicate_fig6(city, seeds=tuple(range(seed, seed + args.num_seeds)))
+            for city in args.cities
+        ]
+        print(format_replication(results))
+    elif args.command == "scaling":
+        print(format_scaling(run_scaling()))
+    elif args.command == "export":
+        files = export_all(args.out, seed=seed, quick=args.quick)
+        for path in files:
+            print(path)
+        print(f"wrote {len(files)} files to {args.out}")
+    elif args.command == "all":
+        quick = args.quick
+        datasets = run_study(seed=seed)
+        print(format_table1(run_table1(seed=seed, datasets=datasets)), "\n")
+        print(format_fig1(run_fig1(seed=seed, datasets=datasets)), "\n")
+        print(format_fig2(run_fig2(seed=seed, datasets=datasets)), "\n")
+        print(format_fig5(run_fig5(seed=seed)), "\n")
+        print(
+            format_fig6(
+                run_fig6(
+                    seed=seed,
+                    reach_pairs=100 if quick else 1000,
+                    delivery_pairs=15 if quick else 50,
+                )
+            ),
+            "\n",
+        )
+        print(run_fig7(seed=seed).art, "\n")
+        print(format_header_stats(run_header_stats(seed=seed, pairs=40 if quick else 150)), "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

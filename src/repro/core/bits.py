@@ -1,0 +1,85 @@
+"""Bit-level packing for CityMesh packet headers.
+
+The paper reports header sizes in *bits* (median 175, 90th percentile
+225 for the compressed source route), so the codec must pack building
+ids at their exact bit width rather than rounding to bytes per field.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates values most-significant-bit first into a byte string."""
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def write(self, value: int, width: int) -> None:
+        """Append ``value`` using exactly ``width`` bits.
+
+        Raises:
+            ValueError: if the value does not fit or is negative.
+        """
+        if width <= 0:
+            raise ValueError(f"bit width must be positive, got {width}")
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for i in range(width - 1, -1, -1):
+            self._bits.append((value >> i) & 1)
+
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return len(self._bits)
+
+    def to_bytes(self) -> bytes:
+        """The written bits padded with zeros to a whole byte count."""
+        out = bytearray()
+        acc = 0
+        n = 0
+        for bit in self._bits:
+            acc = (acc << 1) | bit
+            n += 1
+            if n == 8:
+                out.append(acc)
+                acc = 0
+                n = 0
+        if n:
+            out.append(acc << (8 - n))
+        return bytes(out)
+
+
+class BitReader:
+    """Reads values most-significant-bit first from a byte string."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def read(self, width: int) -> int:
+        """Read the next ``width`` bits as an unsigned integer.
+
+        Raises:
+            ValueError: when reading past the end of the data.
+        """
+        if width <= 0:
+            raise ValueError(f"bit width must be positive, got {width}")
+        if self._pos + width > len(self._data) * 8:
+            raise ValueError("bit stream exhausted")
+        value = 0
+        for _ in range(width):
+            byte = self._data[self._pos // 8]
+            bit = (byte >> (7 - self._pos % 8)) & 1
+            value = (value << 1) | bit
+            self._pos += 1
+        return value
+
+    def bits_remaining(self) -> int:
+        """Bits not yet consumed (includes any padding)."""
+        return len(self._data) * 8 - self._pos
+
+
+def bits_needed(max_value: int) -> int:
+    """Bits required to represent values in ``[0, max_value]``."""
+    if max_value < 0:
+        raise ValueError("max_value must be non-negative")
+    return max(1, max_value.bit_length())

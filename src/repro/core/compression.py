@@ -1,0 +1,97 @@
+"""Route compression: buildings -> waypoints (the Figure 4 algorithm).
+
+The planner returns an explicit building route; encoding every id would
+blow up the header and over-constrain forwarding.  The compression
+algorithm instead selects *waypoint buildings*: starting at the first
+building, it extends a conduit of width ``W`` to the latest building in
+the route such that the conduit still covers every intermediate
+building it skips, then repeats from there.  The conduits traced
+between consecutive waypoints become the packet's forwarding region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry import ConduitPath, ConduitRect, Point
+
+DEFAULT_CONDUIT_WIDTH = 50.0  # metres; "comparable to the Wi-Fi range" (§3)
+
+
+@dataclass(frozen=True)
+class CompressedRoute:
+    """The outcome of route compression.
+
+    Attributes:
+        waypoints: indices into the original route marking the
+            waypoint buildings (always includes first and last).
+        width: conduit width W in metres.
+    """
+
+    waypoints: tuple[int, ...]
+    width: float
+
+    @property
+    def waypoint_count(self) -> int:
+        return len(self.waypoints)
+
+
+def compress_route(centroids: list[Point], width: float = DEFAULT_CONDUIT_WIDTH) -> CompressedRoute:
+    """Select waypoint buildings along a route of building centroids.
+
+    Implements §3 step 2: place the starting edge of the first conduit
+    on the first building's centroid, find the *latest* building whose
+    conduit covers all preceding buildings in the route, make it a
+    waypoint, and repeat until the destination.
+
+    Args:
+        centroids: centroid of each building along the planned route.
+        width: conduit width W (should be comparable to the Wi-Fi
+            transmission range).
+
+    Returns:
+        The selected waypoint indices (first and last always included).
+
+    Raises:
+        ValueError: for an empty route or non-positive width.
+    """
+    if not centroids:
+        raise ValueError("cannot compress an empty route")
+    if width <= 0:
+        raise ValueError(f"conduit width must be positive, got {width}")
+    n = len(centroids)
+    if n == 1:
+        return CompressedRoute(waypoints=(0,), width=width)
+
+    waypoints = [0]
+    current = 0
+    while current < n - 1:
+        # Find the latest j > current whose conduit covers everything
+        # in between.
+        chosen = current + 1
+        for j in range(current + 1, n):
+            rect = ConduitRect(centroids[current], centroids[j], width)
+            if all(rect.contains(centroids[k]) for k in range(current + 1, j)):
+                chosen = j
+        waypoints.append(chosen)
+        current = chosen
+    return CompressedRoute(waypoints=tuple(waypoints), width=width)
+
+
+def conduits_for_waypoints(
+    waypoint_centroids: list[Point], width: float
+) -> ConduitPath:
+    """Reconstruct the forwarding region from waypoint centroids.
+
+    This is the AP-side operation (§3 step 3): each AP looks the
+    waypoint ids up in its own map copy, rebuilds the conduits with the
+    predefined width, and checks whether it falls inside.
+    """
+    return ConduitPath.from_waypoints(waypoint_centroids, width)
+
+
+def compression_ratio(route_length: int, compressed: CompressedRoute) -> float:
+    """How many route buildings each encoded waypoint stands for."""
+    if compressed.waypoint_count == 0:
+        raise ValueError("compressed route has no waypoints")
+    return route_length / compressed.waypoint_count

@@ -1,0 +1,152 @@
+"""CityMesh packets and the compressed-route header codec.
+
+The header carries everything an AP needs to make its stateless
+rebroadcast decision: the conduit width and the waypoint building ids.
+Building ids are packed at the exact bit width needed for the city's id
+space, which is what makes the paper's 175-bit median headers possible.
+
+Header layout (bit-aligned):
+
+====  =====================================================
+bits  field
+====  =====================================================
+4     version (currently 1)
+8     conduit width in metres (1-255)
+6     bits-per-building-id minus 1 (so ids may use 1-64 bits)
+8     waypoint count (1-255)
+k*n   waypoint building ids, n = waypoint count, k = id bits
+64    message id
+====  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bits import BitReader, BitWriter, bits_needed
+
+HEADER_VERSION = 1
+MAX_WAYPOINTS = 255
+_FIXED_HEADER_BITS = 4 + 8 + 6 + 8 + 64
+
+
+class HeaderError(ValueError):
+    """Raised when a header cannot be encoded or decoded."""
+
+
+@dataclass(frozen=True)
+class PacketHeader:
+    """The routing header of a CityMesh packet."""
+
+    waypoints: tuple[int, ...]
+    width_m: int
+    message_id: int
+    id_bits: int
+
+    @property
+    def source_building(self) -> int:
+        return self.waypoints[0]
+
+    @property
+    def destination_building(self) -> int:
+        return self.waypoints[-1]
+
+    def route_bits(self) -> int:
+        """Bits spent on the compressed source route itself.
+
+        This is the quantity §4 reports (median 175 / 90%ile 225 bits):
+        the waypoint ids plus the count and id-width fields needed to
+        delimit them.
+        """
+        return 8 + 6 + self.id_bits * len(self.waypoints)
+
+    def total_bits(self) -> int:
+        """Full header size in bits, including version/width/message id."""
+        return _FIXED_HEADER_BITS + self.id_bits * len(self.waypoints)
+
+
+def encode_header(
+    waypoints: list[int] | tuple[int, ...],
+    width_m: float,
+    message_id: int,
+    max_building_id: int,
+) -> bytes:
+    """Encode a routing header.
+
+    Args:
+        waypoints: waypoint building ids, source first, destination last.
+        width_m: conduit width; rounded to whole metres for encoding.
+        message_id: 64-bit message identifier (for duplicate detection).
+        max_building_id: the largest building id in the city map —
+            fixes the per-id bit width both sides derive from their map.
+
+    Raises:
+        HeaderError: on empty or oversized waypoint lists, ids outside
+            the map's id space, or out-of-range width.
+    """
+    if not waypoints:
+        raise HeaderError("a header needs at least one waypoint")
+    if len(waypoints) > MAX_WAYPOINTS:
+        raise HeaderError(f"too many waypoints ({len(waypoints)} > {MAX_WAYPOINTS})")
+    width_int = round(width_m)
+    if not 1 <= width_int <= 255:
+        raise HeaderError(f"conduit width {width_m} m not encodable (1-255)")
+    if not 0 <= message_id < (1 << 64):
+        raise HeaderError("message id must fit in 64 bits")
+    id_bits = bits_needed(max_building_id)
+    if id_bits > 64:
+        raise HeaderError("building id space exceeds 64 bits")
+    writer = BitWriter()
+    writer.write(HEADER_VERSION, 4)
+    writer.write(width_int, 8)
+    writer.write(id_bits - 1, 6)
+    writer.write(len(waypoints), 8)
+    for wp in waypoints:
+        if wp < 0 or wp > max_building_id:
+            raise HeaderError(
+                f"waypoint id {wp} outside map id space [0, {max_building_id}]"
+            )
+        writer.write(wp, id_bits)
+    writer.write(message_id, 64)
+    return writer.to_bytes()
+
+
+def decode_header(data: bytes) -> PacketHeader:
+    """Decode a routing header produced by :func:`encode_header`.
+
+    Raises:
+        HeaderError: on truncated data or an unknown version.
+    """
+    reader = BitReader(data)
+    try:
+        version = reader.read(4)
+        if version != HEADER_VERSION:
+            raise HeaderError(f"unsupported header version {version}")
+        width = reader.read(8)
+        id_bits = reader.read(6) + 1
+        count = reader.read(8)
+        if count == 0:
+            raise HeaderError("header contains zero waypoints")
+        waypoints = tuple(reader.read(id_bits) for _ in range(count))
+        message_id = reader.read(64)
+    except ValueError as exc:
+        raise HeaderError(f"truncated header: {exc}") from exc
+    return PacketHeader(
+        waypoints=waypoints, width_m=width, message_id=message_id, id_bits=id_bits
+    )
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A full CityMesh packet: routing header plus opaque payload."""
+
+    header: PacketHeader
+    payload: bytes = b""
+
+    @property
+    def message_id(self) -> int:
+        return self.header.message_id
+
+    def size_bits(self) -> int:
+        """Total over-the-air size in bits."""
+        return self.header.total_bits() + 8 * len(self.payload)

@@ -1,0 +1,157 @@
+"""End-to-end building routing: plan, compress, encode, and the
+AP-side stateless rebroadcast decision.
+
+``BuildingRouter`` is the sender-side component (§3 step 2): it plans a
+route over the building graph, compresses it into waypoints, and emits
+an encoded packet header.  ``ConduitMembership`` is the AP-side
+component (§3 step 3): given only the header and the AP's own map copy
+and position, decide whether to rebroadcast.  No state about other
+nodes is ever consulted — that is the paper's core claim.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..buildgraph import BuildingGraph, plan_building_route
+from ..city import City
+from ..geometry import ConduitPath, Point
+from .compression import DEFAULT_CONDUIT_WIDTH, compress_route, conduits_for_waypoints
+from .packet import Packet, PacketHeader, decode_header, encode_header
+
+
+@dataclass(frozen=True)
+class RoutePlan:
+    """Everything the sender derives for one message."""
+
+    route: tuple[int, ...]
+    waypoint_ids: tuple[int, ...]
+    conduits: ConduitPath
+    header_bytes: bytes
+    header: PacketHeader
+
+    @property
+    def route_bits(self) -> int:
+        """Size of the compressed source route in bits (the §4 metric)."""
+        return self.header.route_bits()
+
+
+class BuildingRouter:
+    """Sender-side source routing over the building graph.
+
+    Args:
+        city: the shared city map (every node caches the same map).
+        graph: a prebuilt building graph; built from ``city`` with
+            default parameters when omitted.
+        conduit_width: conduit width W in metres (50 in the paper).
+        rng: used only to draw message ids; defaults to ``Random(0)``.
+        max_building_id: size of the id space used to encode waypoint
+            ids.  Defaults to the largest id in ``city``; pass a larger
+            value to model a device that caches a whole metropolitan
+            map of which the simulated region is only a section (real
+            cities have ~10^5 buildings, i.e. ~17-bit ids, which is the
+            regime behind the paper's 175-bit median headers).
+    """
+
+    def __init__(
+        self,
+        city: City,
+        graph: BuildingGraph | None = None,
+        conduit_width: float = DEFAULT_CONDUIT_WIDTH,
+        rng: random.Random | None = None,
+        max_building_id: int | None = None,
+    ):
+        if conduit_width <= 0:
+            raise ValueError("conduit width must be positive")
+        self.city = city
+        self.graph = graph if graph is not None else BuildingGraph(city)
+        self.conduit_width = conduit_width
+        self._rng = rng if rng is not None else random.Random(0)
+        local_max = max((b.id for b in city.buildings), default=0)
+        if max_building_id is not None and max_building_id < local_max:
+            raise ValueError(
+                f"max_building_id {max_building_id} smaller than the city's "
+                f"largest id {local_max}"
+            )
+        self._max_building_id = max_building_id if max_building_id is not None else local_max
+
+    def plan(
+        self,
+        src_building: int,
+        dst_building: int,
+        message_id: int | None = None,
+    ) -> RoutePlan:
+        """Plan, compress, and encode a route between two buildings.
+
+        Raises:
+            KeyError: if either building is missing from the graph.
+            repro.buildgraph.NoRouteError: if the map predicts no path.
+        """
+        route = plan_building_route(self.graph, src_building, dst_building)
+        centroids = [self.graph.centroid(b) for b in route]
+        compressed = compress_route(centroids, width=self.conduit_width)
+        waypoint_ids = tuple(route[i] for i in compressed.waypoints)
+        waypoint_centroids = [centroids[i] for i in compressed.waypoints]
+        conduits = conduits_for_waypoints(waypoint_centroids, self.conduit_width)
+        if message_id is None:
+            message_id = self._rng.getrandbits(64)
+        header_bytes = encode_header(
+            waypoint_ids,
+            width_m=self.conduit_width,
+            message_id=message_id,
+            max_building_id=self._max_building_id,
+        )
+        return RoutePlan(
+            route=tuple(route),
+            waypoint_ids=waypoint_ids,
+            conduits=conduits,
+            header_bytes=header_bytes,
+            header=decode_header(header_bytes),
+        )
+
+    def make_packet(
+        self,
+        src_building: int,
+        dst_building: int,
+        payload: bytes = b"",
+        message_id: int | None = None,
+    ) -> tuple[Packet, RoutePlan]:
+        """Convenience: plan a route and wrap a payload into a packet."""
+        plan = self.plan(src_building, dst_building, message_id=message_id)
+        return Packet(header=plan.header, payload=payload), plan
+
+
+class ConduitMembership:
+    """AP-side stateless rebroadcast decision.
+
+    Every AP holds the same city map.  Upon receiving a packet it
+    decodes the waypoint ids, looks their centroids up in the map,
+    reconstructs the conduits, and rebroadcasts iff its own position
+    falls inside any of them.  The reconstruction is cached per
+    waypoint tuple because every AP in the mesh sees the same packet.
+    """
+
+    def __init__(self, city: City):
+        self.city = city
+        self._cache: dict[tuple[tuple[int, ...], float], ConduitPath] = {}
+
+    def conduits_of(self, header: PacketHeader) -> ConduitPath:
+        """Reconstruct (or fetch cached) conduits for a header.
+
+        Raises:
+            KeyError: if a waypoint id is not in this node's map copy
+                (map version skew — the packet cannot be routed here).
+        """
+        key = (header.waypoints, float(header.width_m))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        centroids = [self.city.building(b).centroid() for b in header.waypoints]
+        path = conduits_for_waypoints(centroids, float(header.width_m))
+        self._cache[key] = path
+        return path
+
+    def should_rebroadcast(self, header: PacketHeader, position: Point) -> bool:
+        """§3 step 3: is this AP inside any conduit of the packet?"""
+        return self.conduits_of(header).contains(position)

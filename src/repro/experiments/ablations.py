@@ -1,0 +1,194 @@
+"""Ablations over CityMesh's design choices.
+
+DESIGN.md calls out four knobs the paper fixes by fiat: the conduit
+width W (50 m), the cubed-distance edge weights, the AP density
+(1/200 m²), and building-level conduit membership.  Each sweep here
+quantifies what that choice buys.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..analysis import format_table, percentile
+from ..buildgraph import NoRouteError
+from ..sim import ConduitPolicy, simulate_broadcast
+from ..sim.broadcast import PositionConduitPolicy
+from .common import World, attempt_delivery, build_world, sample_building_pairs
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One parameter setting's delivery metrics."""
+
+    parameter: float
+    delivered: int
+    attempted: int
+    median_overhead: float | None
+
+    @property
+    def deliverability(self) -> float:
+        return self.delivered / self.attempted if self.attempted else 0.0
+
+
+def _run_pairs(world: World, pairs, rng) -> SweepPoint:
+    delivered = 0
+    overheads = []
+    attempted = 0
+    for s, d in pairs:
+        outcome = attempt_delivery(world, s, d, rng)
+        if not outcome.reachable:
+            continue
+        attempted += 1
+        if outcome.delivered:
+            delivered += 1
+            if outcome.overhead is not None:
+                overheads.append(outcome.overhead)
+    return SweepPoint(
+        parameter=0.0,
+        delivered=delivered,
+        attempted=attempted,
+        median_overhead=percentile(overheads, 50) if overheads else None,
+    )
+
+
+def sweep_conduit_width(
+    city_name: str = "parkside",
+    widths: tuple[float, ...] = (25.0, 50.0, 75.0, 100.0, 150.0),
+    seed: int = 0,
+    pairs: int = 40,
+) -> list[SweepPoint]:
+    """Deliverability and overhead vs conduit width W."""
+    points = []
+    for width in widths:
+        world = build_world(city_name, seed=seed, conduit_width=width)
+        rng = random.Random(seed + 5)
+        pair_list = sample_building_pairs(world, pairs, rng)
+        point = _run_pairs(world, pair_list, rng)
+        points.append(
+            SweepPoint(width, point.delivered, point.attempted, point.median_overhead)
+        )
+    return points
+
+
+def sweep_weight_exponent(
+    city_name: str = "gridport",
+    exponents: tuple[float, ...] = (1.0, 2.0, 3.0),
+    seed: int = 0,
+    pairs: int = 40,
+) -> list[SweepPoint]:
+    """Deliverability vs the edge-weight exponent (paper: cubed)."""
+    points = []
+    for exponent in exponents:
+        world = build_world(city_name, seed=seed, weight_exponent=exponent)
+        rng = random.Random(seed + 5)
+        pair_list = sample_building_pairs(world, pairs, rng)
+        point = _run_pairs(world, pair_list, rng)
+        points.append(
+            SweepPoint(exponent, point.delivered, point.attempted, point.median_overhead)
+        )
+    return points
+
+
+def sweep_ap_density(
+    city_name: str = "gridport",
+    densities: tuple[float, ...] = (1 / 400, 1 / 300, 1 / 200, 1 / 100, 1 / 50),
+    seed: int = 0,
+    pairs: int = 40,
+) -> list[SweepPoint]:
+    """Reachability+deliverability vs AP density (paper: 1/200 m²).
+
+    Sweep points report the density as square metres per AP (so the
+    paper's reference setting reads as 200).
+    """
+    points = []
+    for density in densities:
+        world = build_world(city_name, seed=seed, ap_density=density)
+        rng = random.Random(seed + 5)
+        pair_list = sample_building_pairs(world, pairs, rng)
+        delivered = 0
+        overheads = []
+        for s, d in pair_list:
+            outcome = attempt_delivery(world, s, d, rng)
+            if outcome.delivered:
+                delivered += 1
+                if outcome.overhead is not None:
+                    overheads.append(outcome.overhead)
+        points.append(
+            SweepPoint(
+                parameter=round(1.0 / density, 1),  # m^2 per AP: readable
+                delivered=delivered,
+                attempted=len(pair_list),  # unconditional: density gates reachability
+                median_overhead=percentile(overheads, 50) if overheads else None,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class MembershipComparison:
+    """Building-level vs AP-position conduit membership."""
+
+    building_delivered: int
+    position_delivered: int
+    attempted: int
+    building_median_tx: float | None
+    position_median_tx: float | None
+
+
+def compare_membership(
+    city_name: str = "gridport", seed: int = 0, pairs: int = 40
+) -> MembershipComparison:
+    """§4 attributes the 13x overhead to whole-building rebroadcast;
+    this measures what the stricter AP-position rule would do."""
+    world = build_world(city_name, seed=seed)
+    rng = random.Random(seed + 5)
+    b_delivered = p_delivered = attempted = 0
+    b_tx: list[float] = []
+    p_tx: list[float] = []
+    for s, d in sample_building_pairs(world, pairs, rng):
+        if not world.graph.buildings_reachable(s, d):
+            continue
+        try:
+            plan = world.router.plan(s, d)
+        except (NoRouteError, KeyError):
+            continue
+        attempted += 1
+        source_ap = world.graph.aps_in_building(s)[0]
+        building_result = simulate_broadcast(
+            world.graph, source_ap, d, ConduitPolicy(plan.conduits, world.city), rng
+        )
+        position_result = simulate_broadcast(
+            world.graph, source_ap, d, PositionConduitPolicy(plan.conduits), rng
+        )
+        if building_result.delivered:
+            b_delivered += 1
+            b_tx.append(building_result.transmissions)
+        if position_result.delivered:
+            p_delivered += 1
+            p_tx.append(position_result.transmissions)
+    return MembershipComparison(
+        building_delivered=b_delivered,
+        position_delivered=p_delivered,
+        attempted=attempted,
+        building_median_tx=percentile(b_tx, 50) if b_tx else None,
+        position_median_tx=percentile(p_tx, 50) if p_tx else None,
+    )
+
+
+def format_sweep(points: list[SweepPoint], parameter_name: str, title: str) -> str:
+    """Generic sweep table."""
+    return format_table(
+        [parameter_name, "deliverability", "median overhead", "delivered/attempted"],
+        [
+            [
+                p.parameter,
+                p.deliverability,
+                p.median_overhead if p.median_overhead is not None else "-",
+                f"{p.delivered}/{p.attempted}",
+            ]
+            for p in points
+        ],
+        title=title,
+    )

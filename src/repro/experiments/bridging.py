@@ -1,0 +1,91 @@
+"""Island bridging: §4's "small number of well-placed APs" claim.
+
+For a fractured city, measure reachability before bridging, run the
+greedy bridge planner, and measure again — quantifying how few APs it
+takes to reconnect the islands.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..analysis import format_table
+from ..mesh import apply_bridges, bridge_all_islands, find_islands
+from .common import World, build_world, sample_building_pairs
+
+
+@dataclass(frozen=True)
+class BridgingResult:
+    """Before/after reachability for one city."""
+
+    city: str
+    islands_before: int
+    islands_after: int
+    new_aps: int
+    reachability_before: float
+    reachability_after: float
+    pairs_tested: int
+
+
+def run_bridging(
+    city_name: str = "riverton",
+    seed: int = 0,
+    pairs: int = 200,
+    min_island_size: int = 5,
+    world: World | None = None,
+) -> BridgingResult:
+    """Bridge a fractured city and measure the reachability gain."""
+    if world is None:
+        world = build_world(city_name, seed=seed)
+    rng = random.Random(seed + 4)
+    pair_list = sample_building_pairs(world, pairs, rng)
+
+    def reachability(graph) -> float:
+        ok = sum(1 for s, d in pair_list if graph.buildings_reachable(s, d))
+        return ok / len(pair_list) if pair_list else 0.0
+
+    before = reachability(world.graph)
+    islands_before = len(find_islands(world.graph, min_size=min_island_size))
+    plans, new_aps = bridge_all_islands(world.graph, min_island_size=min_island_size)
+    bridged = apply_bridges(world.graph, new_aps)
+    after = reachability(bridged)
+    islands_after = len(find_islands(bridged, min_size=min_island_size))
+    return BridgingResult(
+        city=world.city.name,
+        islands_before=islands_before,
+        islands_after=islands_after,
+        new_aps=len(new_aps),
+        reachability_before=before,
+        reachability_after=after,
+        pairs_tested=len(pair_list),
+    )
+
+
+def format_bridging(results: list[BridgingResult]) -> str:
+    """Bridging table across cities."""
+    return format_table(
+        [
+            "city",
+            "islands before",
+            "islands after",
+            "new APs",
+            "reachability before",
+            "reachability after",
+        ],
+        [
+            [
+                r.city,
+                r.islands_before,
+                r.islands_after,
+                r.new_aps,
+                r.reachability_before,
+                r.reachability_after,
+            ]
+            for r in results
+        ],
+        title=(
+            "§4 bridging: 'a small number of well-placed APs would serve to "
+            "bridge connectivity between these islands'"
+        ),
+    )

@@ -1,0 +1,133 @@
+"""Predictor calibration: does the map really predict AP connectivity?
+
+The paper's core bet is that a building graph derived from footprints
+alone predicts which buildings' APs can hear each other.  This
+experiment measures that bet directly on the ground truth:
+
+- **precision**: the fraction of predicted building edges that carry at
+  least one actual AP-AP link,
+- **recall**: the fraction of actual inter-building AP links whose
+  building pair the graph predicted,
+- the link rate per footprint-gap bin, which shows *where* prediction
+  quality comes from (and why the density-derived margin exists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import format_table
+from .common import World, build_world
+
+
+@dataclass(frozen=True)
+class GapBin:
+    """Actual link rate for predicted edges in one footprint-gap bin."""
+
+    lo: float
+    hi: float
+    edges: int
+    linked: int
+
+    @property
+    def link_rate(self) -> float:
+        return self.linked / self.edges if self.edges else 0.0
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Precision/recall of the building-graph predictor."""
+
+    city: str
+    predicted_edges: int
+    predicted_with_link: int
+    actual_pairs: int
+    actual_predicted: int
+    bins: tuple[GapBin, ...]
+
+    @property
+    def precision(self) -> float:
+        return (
+            self.predicted_with_link / self.predicted_edges
+            if self.predicted_edges
+            else 0.0
+        )
+
+    @property
+    def recall(self) -> float:
+        return self.actual_predicted / self.actual_pairs if self.actual_pairs else 0.0
+
+
+def _actual_building_links(world: World) -> set[tuple[int, int]]:
+    """Unordered building pairs with at least one real AP-AP link."""
+    pairs: set[tuple[int, int]] = set()
+    for ap in world.graph.aps:
+        for other in world.graph.neighbors(ap.id):
+            b1 = ap.building_id
+            b2 = world.graph.aps[other].building_id
+            if b1 != b2:
+                pairs.add((min(b1, b2), max(b1, b2)))
+    return pairs
+
+
+def run_calibration(
+    city_name: str = "gridport",
+    seed: int = 0,
+    bin_width: float = 10.0,
+    world: World | None = None,
+) -> CalibrationResult:
+    """Measure the predictor's precision/recall on one realisation."""
+    if world is None:
+        world = build_world(city_name, seed=seed)
+    actual = _actual_building_links(world)
+    city = world.city
+    bg = world.building_graph
+
+    predicted: set[tuple[int, int]] = set()
+    for b in city.buildings:
+        if b.id not in bg:
+            continue
+        for n in bg.neighbors(b.id):
+            predicted.add((min(b.id, n), max(b.id, n)))
+
+    buckets: dict[int, list[bool]] = {}
+    hits = 0
+    for b1, b2 in predicted:
+        gap = city.building(b1).polygon.distance_to_polygon(city.building(b2).polygon)
+        linked = (b1, b2) in actual
+        hits += linked
+        buckets.setdefault(int(gap // bin_width), []).append(linked)
+
+    bins = tuple(
+        GapBin(
+            lo=k * bin_width,
+            hi=(k + 1) * bin_width,
+            edges=len(v),
+            linked=sum(v),
+        )
+        for k, v in sorted(buckets.items())
+    )
+    return CalibrationResult(
+        city=city.name,
+        predicted_edges=len(predicted),
+        predicted_with_link=hits,
+        actual_pairs=len(actual),
+        actual_predicted=len(actual & predicted),
+        bins=bins,
+    )
+
+
+def format_calibration(result: CalibrationResult) -> str:
+    """Calibration summary plus the per-gap link-rate curve."""
+    header = (
+        f"Predictor calibration ({result.city}): "
+        f"precision {result.precision:.2f} "
+        f"({result.predicted_with_link}/{result.predicted_edges} predicted edges "
+        f"carry a real link), recall {result.recall:.2f} "
+        f"({result.actual_predicted}/{result.actual_pairs} real links predicted)"
+    )
+    table = format_table(
+        ["footprint gap (m)", "predicted edges", "actual-link rate"],
+        [[f"{b.lo:.0f}-{b.hi:.0f}", b.edges, b.link_rate] for b in result.bins],
+    )
+    return header + "\n" + table

@@ -1,0 +1,139 @@
+"""Exporting every table/figure as CSV and text files.
+
+``python -m repro export --out results/`` regenerates the paper's
+artefacts and writes them to disk: CSV series for everything numeric
+(ready for external plotting) and text files for the ASCII renderings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..analysis import format_csv
+from ..measurement import run_study
+from .fig1 import fig1_series, run_fig1
+from .fig2 import run_fig2
+from .fig5 import run_fig5
+from .fig6 import run_fig6
+from .fig7 import run_fig7
+from .header_stats import run_header_stats
+from .table1 import run_table1
+
+
+def export_all(
+    out_dir: str | Path,
+    seed: int = 0,
+    quick: bool = True,
+) -> list[Path]:
+    """Regenerate every artefact and write it under ``out_dir``.
+
+    Args:
+        out_dir: destination directory (created if missing).
+        seed: master seed.
+        quick: reduced sample sizes (full scale otherwise).
+
+    Returns:
+        The files written, in creation order.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    def write(name: str, content: str) -> None:
+        path = out / name
+        path.write_text(content + "\n", encoding="utf-8")
+        written.append(path)
+
+    datasets = run_study(seed=seed)
+
+    # Table 1
+    rows = run_table1(seed=seed, datasets=datasets)
+    write(
+        "table1.csv",
+        format_csv(
+            ["area", "measurements", "unique_aps", "paper_measurements", "paper_unique_aps"],
+            [
+                [r.area, r.measurements, r.unique_aps, r.paper_measurements, r.paper_unique_aps]
+                for r in rows
+            ],
+        ),
+    )
+
+    # Figure 1 CDF series per area
+    areas = run_fig1(seed=seed, datasets=datasets)
+    for area, series in fig1_series(areas, points=120).items():
+        write(
+            f"fig1a_{area}_macs_cdf.csv",
+            format_csv(["macs_per_scan", "cdf"], series["macs_per_scan"]),
+        )
+        write(
+            f"fig1b_{area}_spread_cdf.csv",
+            format_csv(["spread_m", "cdf"], series["spread_m"]),
+        )
+
+    # Figure 2 whisker bins per area
+    for area in run_fig2(seed=seed, datasets=datasets, stride=2 if quick else 1):
+        write(
+            f"fig2_{area.area}.csv",
+            format_csv(
+                ["bin_lo_m", "bin_hi_m", "pairs", "p10", "p25", "p50", "p75", "p100"],
+                [
+                    [b.lo, b.hi, b.count, b.p10, b.p25, b.p50, b.p75, b.p100]
+                    for b in area.bins
+                ],
+            ),
+        )
+
+    # Figure 5: both rendered panels plus the stats line
+    fig5 = run_fig5(seed=seed)
+    write("fig5a_footprints.txt", fig5.footprints_art)
+    write("fig5b_mesh.txt", fig5.mesh_art)
+    write(
+        "fig5_stats.csv",
+        format_csv(
+            ["buildings", "aps", "links", "largest_component_fraction"],
+            [[fig5.building_count, fig5.ap_count, fig5.link_count, fig5.largest_component_fraction]],
+        ),
+    )
+
+    # Figure 6
+    fig6 = run_fig6(
+        seed=seed,
+        reach_pairs=150 if quick else 1000,
+        delivery_pairs=15 if quick else 50,
+    )
+    write(
+        "fig6.csv",
+        format_csv(
+            ["city", "reachability", "deliverability_given_reach", "median_overhead", "p90_overhead"],
+            [
+                [
+                    r.city,
+                    r.reachability,
+                    r.deliverability,
+                    r.median_overhead if r.median_overhead is not None else "",
+                    r.p90_overhead if r.p90_overhead is not None else "",
+                ]
+                for r in fig6
+            ],
+        ),
+    )
+
+    # Figure 7 rendering
+    write("fig7_simulation.txt", run_fig7(seed=seed).art)
+
+    # Header statistics
+    stats = run_header_stats(seed=seed, pairs=40 if quick else 150)
+    write(
+        "header_stats.csv",
+        format_csv(
+            ["metric", "measured", "paper"],
+            [
+                ["median_route_bits", stats.median_bits, 175],
+                ["p90_route_bits", stats.p90_bits, 225],
+                ["median_waypoints", stats.median_waypoints, ""],
+                ["median_route_buildings", stats.median_route_buildings, ""],
+            ],
+        ),
+    )
+    return written

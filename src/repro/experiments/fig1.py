@@ -1,0 +1,84 @@
+"""Figure 1: (a) CDF of MACs per measurement, (b) CDF of per-MAC spread."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import Cdf, format_table
+from ..measurement import ScanDataset, macs_per_scan_cdf, run_study, spread_cdf
+
+# The medians §2 quotes: MACs/scan 60 (river, worst) and 218 (downtown,
+# best); spread 54 m (campus, smallest) and 168 m (river, largest).
+PAPER_MEDIANS = {
+    "macs": {"river": 60, "downtown": 218},
+    "spread": {"campus": 54.0, "river": 168.0},
+}
+
+
+@dataclass(frozen=True)
+class Fig1Area:
+    """Both Figure 1 CDFs for one survey area."""
+
+    area: str
+    macs_cdf: Cdf
+    spread_cdf: Cdf
+
+    @property
+    def median_macs(self) -> float:
+        return self.macs_cdf.median()
+
+    @property
+    def median_spread(self) -> float:
+        return self.spread_cdf.median()
+
+
+def run_fig1(seed: int = 0, datasets: list[ScanDataset] | None = None) -> list[Fig1Area]:
+    """Regenerate both Figure 1 CDFs for every area."""
+    if datasets is None:
+        datasets = run_study(seed=seed)
+    return [
+        Fig1Area(
+            area=ds.area,
+            macs_cdf=macs_per_scan_cdf(ds),
+            spread_cdf=spread_cdf(ds),
+        )
+        for ds in datasets
+    ]
+
+
+def format_fig1(areas: list[Fig1Area]) -> str:
+    """Summary table: medians and quartiles of both CDFs per area."""
+    rows = []
+    for a in areas:
+        rows.append(
+            [
+                a.area,
+                a.macs_cdf.quantile(0.25),
+                a.median_macs,
+                a.macs_cdf.quantile(0.75),
+                a.spread_cdf.quantile(0.25),
+                a.median_spread,
+                a.spread_cdf.quantile(0.75),
+            ]
+        )
+    return format_table(
+        ["area", "MACs p25", "MACs p50", "MACs p75", "spread p25", "spread p50", "spread p75"],
+        rows,
+        title=(
+            "Figure 1: MACs seen per measurement (a) and per-MAC location "
+            "spread in metres (b)\n"
+            "paper medians: MACs 60 (river, worst) / 218 (downtown, best); "
+            "spread 54 m (campus) / 168 m (river)"
+        ),
+    )
+
+
+def fig1_series(areas: list[Fig1Area], points: int = 60) -> dict[str, dict[str, list[tuple[float, float]]]]:
+    """Downsampled CDF series for external plotting, keyed by area."""
+    return {
+        a.area: {
+            "macs_per_scan": a.macs_cdf.series(points),
+            "spread_m": a.spread_cdf.series(points),
+        }
+        for a in areas
+    }

@@ -1,0 +1,62 @@
+"""Figure 7: a single simulated delivery, rendered."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core import RoutePlan
+from ..sim import BroadcastResult, ConduitPolicy, simulate_broadcast
+from ..viz import render_simulation
+from .common import World, build_world
+
+
+@dataclass
+class Fig7Result:
+    """One delivery's rendering and accounting."""
+
+    art: str
+    plan: RoutePlan
+    result: BroadcastResult
+    conduit_ap_count: int
+    silent_ap_count: int
+
+
+def run_fig7(
+    seed: int = 0,
+    city_name: str = "gridport",
+    world: World | None = None,
+    width_chars: int = 110,
+) -> Fig7Result:
+    """Regenerate Figure 7: route, conduit rebroadcasters, silent APs.
+
+    Picks the first sampled pair that is reachable and routable so the
+    figure shows a successful delivery, like the paper's.
+    """
+    if world is None:
+        world = build_world(city_name, seed=seed)
+    rng = random.Random(seed + 10)
+    ids = [b.id for b in world.city.buildings if world.graph.aps_in_building(b.id)]
+    for _ in range(50):
+        s, d = rng.sample(ids, 2)
+        if not world.graph.buildings_reachable(s, d):
+            continue
+        try:
+            plan = world.router.plan(s, d)
+        except Exception:
+            continue
+        if len(plan.route) < 8:
+            continue  # pick a route long enough to be interesting
+        policy = ConduitPolicy(plan.conduits, world.city)
+        source_ap = world.graph.aps_in_building(s)[0]
+        result = simulate_broadcast(world.graph, source_ap, d, policy, rng)
+        if result.delivered:
+            art = render_simulation(world.city, world.graph, plan, result, width_chars)
+            return Fig7Result(
+                art=art,
+                plan=plan,
+                result=result,
+                conduit_ap_count=len(result.transmitters),
+                silent_ap_count=len(result.heard) - len(result.transmitters),
+            )
+    raise RuntimeError("no successful delivery found to render (try another seed)")

@@ -1,0 +1,94 @@
+"""§4's header-size numbers: the compressed source route in bits.
+
+The paper reports a median of 175 and a 90th percentile of 225 bits
+for the compressed route in "a typical city simulation".  Those
+numbers presuppose a metropolitan id space (~10^5 buildings → 17-bit
+ids) and routes of roughly ten waypoints; we therefore sample routes
+across our city presets with the metro id space enabled.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..analysis import format_table, percentile
+from ..buildgraph import NoRouteError
+from ..city import metro_city
+from .common import build_world_from_city, sample_building_pairs
+
+PAPER_MEDIAN_BITS = 175
+PAPER_P90_BITS = 225
+
+
+@dataclass(frozen=True)
+class HeaderStats:
+    """Route-bit statistics over sampled routes."""
+
+    routes_sampled: int
+    median_bits: float
+    p90_bits: float
+    median_waypoints: float
+    median_route_buildings: float
+    median_compression_ratio: float
+
+
+def run_header_stats(
+    seed: int = 0,
+    pairs: int = 150,
+    metro_blocks: int = 18,
+    metro_parks: int = 5,
+) -> HeaderStats:
+    """Sample city-scale routes and measure encoded header sizes.
+
+    Routes are planned in a large downtown with scattered parks
+    (:func:`repro.city.metro_city`), giving multi-kilometre routes that
+    bend around obstacles — the paper's "typical city simulation"
+    regime.
+    """
+    world = build_world_from_city(
+        metro_city(seed=seed, blocks=metro_blocks, parks=metro_parks),
+        seed=seed,
+        metro_id_space=True,
+    )
+    bits: list[float] = []
+    waypoints: list[float] = []
+    route_lengths: list[float] = []
+    rng = random.Random(seed + 3)
+    for s, d in sample_building_pairs(world, pairs, rng):
+        try:
+            plan = world.router.plan(s, d)
+        except (NoRouteError, KeyError):
+            continue
+        if len(plan.route) < 2:
+            continue
+        bits.append(plan.route_bits)
+        waypoints.append(len(plan.waypoint_ids))
+        route_lengths.append(len(plan.route))
+    if not bits:
+        raise RuntimeError("no routable pairs found for header statistics")
+    ratios = [r / w for r, w in zip(route_lengths, waypoints)]
+    return HeaderStats(
+        routes_sampled=len(bits),
+        median_bits=percentile(bits, 50),
+        p90_bits=percentile(bits, 90),
+        median_waypoints=percentile(waypoints, 50),
+        median_route_buildings=percentile(route_lengths, 50),
+        median_compression_ratio=percentile(ratios, 50),
+    )
+
+
+def format_header_stats(stats: HeaderStats) -> str:
+    """Paper-vs-measured summary table."""
+    return format_table(
+        ["metric", "measured", "paper"],
+        [
+            ["median compressed-route bits", stats.median_bits, PAPER_MEDIAN_BITS],
+            ["90%ile compressed-route bits", stats.p90_bits, PAPER_P90_BITS],
+            ["median waypoints per route", stats.median_waypoints, "-"],
+            ["median buildings per route", stats.median_route_buildings, "-"],
+            ["median compression ratio", stats.median_compression_ratio, "-"],
+            ["routes sampled", stats.routes_sampled, "-"],
+        ],
+        title="§4 header sizes: compressed source route (17-bit metro ids)",
+    )

@@ -1,0 +1,93 @@
+"""Multi-seed replication: are the Figure 6 results seed-artifacts?
+
+Each replication rebuilds the city, the AP placement, and the pair
+sample from a fresh seed and reruns the Figure 6 pipeline.  The paper
+reports single realisations; this experiment adds the error bars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..analysis import format_table
+from .common import build_world
+from .fig6 import run_fig6_city
+
+
+@dataclass(frozen=True)
+class ReplicatedCity:
+    """Mean and standard deviation over seeds for one city."""
+
+    city: str
+    seeds: int
+    reachability_mean: float
+    reachability_std: float
+    deliverability_mean: float
+    deliverability_std: float
+    overhead_mean: float | None
+
+
+def _mean_std(values: list[float]) -> tuple[float, float]:
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, math.sqrt(var)
+
+
+def replicate_fig6(
+    city_name: str,
+    seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
+    reach_pairs: int = 200,
+    delivery_pairs: int = 15,
+) -> ReplicatedCity:
+    """Run the Figure 6 pipeline once per seed and aggregate.
+
+    Raises:
+        ValueError: for an empty seed tuple.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    reach: list[float] = []
+    deliv: list[float] = []
+    overheads: list[float] = []
+    for seed in seeds:
+        world = build_world(city_name, seed=seed)
+        row = run_fig6_city(
+            world, seed=seed, reach_pairs=reach_pairs, delivery_pairs=delivery_pairs
+        )
+        reach.append(row.reachability)
+        deliv.append(row.deliverability)
+        if row.median_overhead is not None:
+            overheads.append(row.median_overhead)
+    reach_mean, reach_std = _mean_std(reach)
+    deliv_mean, deliv_std = _mean_std(deliv)
+    return ReplicatedCity(
+        city=city_name,
+        seeds=len(seeds),
+        reachability_mean=reach_mean,
+        reachability_std=reach_std,
+        deliverability_mean=deliv_mean,
+        deliverability_std=deliv_std,
+        overhead_mean=sum(overheads) / len(overheads) if overheads else None,
+    )
+
+
+def format_replication(results: list[ReplicatedCity]) -> str:
+    """Replication table with mean ± std columns."""
+    return format_table(
+        ["city", "seeds", "reachability", "deliverability|reach", "mean med-overhead"],
+        [
+            [
+                r.city,
+                r.seeds,
+                f"{r.reachability_mean:.3f}±{r.reachability_std:.3f}",
+                f"{r.deliverability_mean:.3f}±{r.deliverability_std:.3f}",
+                r.overhead_mean if r.overhead_mean is not None else "-",
+            ]
+            for r in results
+        ],
+        title="Figure 6 replication across seeds (fresh city + placement each)",
+    )

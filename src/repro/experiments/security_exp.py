@@ -1,0 +1,227 @@
+"""Security experiments: deliverability under compromised nodes.
+
+§1 sets the bar: find a path whenever an honest path exists.  These
+experiments measure how far plain CityMesh falls short under blackhole
+compromise and how much the resilient retry (wider conduits + detour
+routes) recovers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..analysis import format_table
+from ..buildgraph import NoRouteError
+from ..security import honest_path_exists, random_compromise, resilient_send
+from ..sim import ConduitPolicy, simulate_broadcast
+from .common import World, build_world, sample_building_pairs
+
+
+@dataclass(frozen=True)
+class CompromisePoint:
+    """Delivery rates at one compromise fraction."""
+
+    fraction: float
+    honest_possible: int
+    plain_delivered: int
+    resilient_delivered: int
+    attempted: int
+
+    @property
+    def plain_rate(self) -> float:
+        """Plain CityMesh deliveries over honest-possible pairs."""
+        return self.plain_delivered / self.honest_possible if self.honest_possible else 0.0
+
+    @property
+    def resilient_rate(self) -> float:
+        """Resilient-send deliveries over honest-possible pairs."""
+        return (
+            self.resilient_delivered / self.honest_possible if self.honest_possible else 0.0
+        )
+
+
+def run_compromise_sweep(
+    city_name: str = "gridport",
+    fractions: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.3),
+    seed: int = 0,
+    pairs: int = 30,
+    world: World | None = None,
+) -> list[CompromisePoint]:
+    """Deliverability vs fraction of randomly compromised APs.
+
+    The denominator is the §1 criterion: pairs for which an honest
+    path still exists at that compromise level.
+    """
+    if world is None:
+        world = build_world(city_name, seed=seed)
+    pair_rng = random.Random(seed + 6)
+    pair_list = sample_building_pairs(world, pairs, pair_rng)
+    points = []
+    for fraction in fractions:
+        comp_rng = random.Random(seed + int(fraction * 1000))
+        compromised = random_compromise(world.graph, fraction, comp_rng)
+        honest = plain = resilient = attempted = 0
+        sim_rng = random.Random(seed + 9)
+        for s, d in pair_list:
+            src_aps = [
+                a for a in world.graph.aps_in_building(s) if a not in compromised
+            ]
+            if not src_aps:
+                continue
+            attempted += 1
+            source_ap = src_aps[0]
+            if not honest_path_exists(world.graph, source_ap, d, compromised):
+                continue
+            honest += 1
+            try:
+                plan = world.router.plan(s, d)
+            except (NoRouteError, KeyError):
+                continue
+            policy = ConduitPolicy(plan.conduits, world.city)
+            plain_result = simulate_broadcast(
+                world.graph, source_ap, d, policy, sim_rng, compromised=compromised
+            )
+            if plain_result.delivered:
+                plain += 1
+            report = resilient_send(
+                world.city,
+                world.graph,
+                world.router,
+                source_ap,
+                d,
+                sim_rng,
+                compromised=compromised,
+            )
+            if report.delivered:
+                resilient += 1
+        points.append(
+            CompromisePoint(
+                fraction=fraction,
+                honest_possible=honest,
+                plain_delivered=plain,
+                resilient_delivered=resilient,
+                attempted=attempted,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Deliverability under one attacker strategy at a fixed budget."""
+
+    strategy: str
+    budget: int
+    delivered: int
+    attempted: int
+
+    @property
+    def rate(self) -> float:
+        return self.delivered / self.attempted if self.attempted else 0.0
+
+
+def run_attack_comparison(
+    city_name: str = "suburbia",
+    budget: int = 15,
+    seed: int = 0,
+    pairs: int = 25,
+    world: World | None = None,
+) -> list[AttackOutcome]:
+    """Compare attacker strategies at the same compromise budget.
+
+    Strategies: ``random`` (uniform APs), ``targeted`` (APs on the most
+    shortest paths — a topology-aware adversary), and ``articulation``
+    (cut vertices first — an adversary that partitions the mesh).
+    """
+    from ..mesh import articulation_points
+    from ..security import targeted_compromise
+
+    if world is None:
+        world = build_world(city_name, seed=seed)
+    pair_rng = random.Random(seed + 11)
+    pair_list = [
+        (s, d)
+        for s, d in sample_building_pairs(world, pairs, pair_rng)
+        if world.graph.buildings_reachable(s, d)
+    ]
+    sample = [
+        (world.graph.aps_in_building(s)[0], d) for s, d in pair_list
+    ]
+
+    articulation = list(articulation_points(world.graph))
+    articulation.sort(key=lambda a: world.graph.degree(a), reverse=True)
+    if len(articulation) < budget:
+        # Pad with the highest-degree APs (hubs) once cuts run out.
+        hubs = sorted(
+            (ap.id for ap in world.graph.aps if ap.id not in set(articulation)),
+            key=lambda a: world.graph.degree(a),
+            reverse=True,
+        )
+        articulation.extend(hubs[: budget - len(articulation)])
+
+    strategies = {
+        "random": random_compromise(world.graph, budget / len(world.graph.aps),
+                                    random.Random(seed + 12)),
+        "targeted": targeted_compromise(world.graph, budget, sample),
+        "articulation": frozenset(articulation[:budget]),
+    }
+    outcomes = []
+    for name, compromised in strategies.items():
+        sim_rng = random.Random(seed + 13)
+        delivered = attempted = 0
+        for s, d in pair_list:
+            src_candidates = [
+                a for a in world.graph.aps_in_building(s) if a not in compromised
+            ]
+            if not src_candidates:
+                continue
+            attempted += 1
+            try:
+                plan = world.router.plan(s, d)
+            except (NoRouteError, KeyError):
+                continue
+            policy = ConduitPolicy(plan.conduits, world.city)
+            result = simulate_broadcast(
+                world.graph, src_candidates[0], d, policy, sim_rng,
+                compromised=compromised,
+            )
+            delivered += result.delivered
+        outcomes.append(
+            AttackOutcome(
+                strategy=name, budget=budget, delivered=delivered, attempted=attempted
+            )
+        )
+    return outcomes
+
+
+def format_attacks(outcomes: list[AttackOutcome]) -> str:
+    """Attack-strategy comparison table."""
+    return format_table(
+        ["strategy", "budget (APs)", "deliverability", "delivered/attempted"],
+        [
+            [o.strategy, o.budget, o.rate, f"{o.delivered}/{o.attempted}"]
+            for o in outcomes
+        ],
+        title="Attacker-strategy comparison at equal compromise budget",
+    )
+
+
+def format_compromise(points: list[CompromisePoint]) -> str:
+    """Compromise-sweep table."""
+    return format_table(
+        [
+            "compromised fraction",
+            "honest-path pairs",
+            "plain deliverability",
+            "resilient deliverability",
+        ],
+        [
+            [p.fraction, p.honest_possible, p.plain_rate, p.resilient_rate]
+            for p in points
+        ],
+        title=(
+            "Security: deliverability under blackhole compromise\n"
+            "denominator = pairs where an honest path still exists (§1's bar)"
+        ),
+    )

@@ -1,0 +1,14 @@
+"""Inter-networking of regional DFNs (§1's inter-region agenda)."""
+
+from .model import Federation, InterRegionLink, Region, make_region
+from .transit import TransitLeg, TransitReport, send_interregion
+
+__all__ = [
+    "Federation",
+    "InterRegionLink",
+    "Region",
+    "TransitLeg",
+    "TransitReport",
+    "make_region",
+    "send_interregion",
+]

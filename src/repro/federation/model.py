@@ -1,0 +1,179 @@
+"""Inter-networking DFNs: regions, gateways, and the region graph.
+
+§1 poses: "we pose that DFNs are urban in scope; therefore, how do we
+form an inter-network of DFNs across regions?" and asks what role
+satellite links should play.  The model here: each urban **region**
+runs its own CityMesh; a few buildings per region host **gateways**
+(satellite terminals or surviving long-haul fiber) wired to gateways
+in other regions.  Inter-region routing is ordinary shortest-path over
+the tiny region graph; each leg inside a region is a normal CityMesh
+delivery to the gateway's building.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..buildgraph import BuildingGraph
+from ..city import City
+from ..core import BuildingRouter
+from ..mesh import APGraph
+
+
+@dataclass
+class Region:
+    """One urban DFN: a city plus its mesh, router, and gateways."""
+
+    name: str
+    city: City
+    graph: APGraph
+    router: BuildingRouter
+    gateway_buildings: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for b in self.gateway_buildings:
+            if not self.city.has_building(b):
+                raise ValueError(f"gateway building {b} not in region {self.name!r}")
+
+    def add_gateway(self, building_id: int) -> None:
+        """Register a building as hosting a long-haul gateway.
+
+        Raises:
+            KeyError: if the building is not in this region's map.
+        """
+        self.city.building(building_id)  # raises KeyError if unknown
+        if building_id not in self.gateway_buildings:
+            self.gateway_buildings.append(building_id)
+
+
+@dataclass(frozen=True)
+class InterRegionLink:
+    """A long-haul link between two specific gateways.
+
+    ``latency_s`` models the satellite/fiber hop; ``kind`` is
+    informational ("satellite", "fiber", "microwave").
+    """
+
+    region_a: str
+    gateway_a: int
+    region_b: str
+    gateway_b: int
+    latency_s: float = 0.6  # GEO-satellite-ish default
+    kind: str = "satellite"
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("link latency must be non-negative")
+        if self.region_a == self.region_b:
+            raise ValueError("inter-region links must join distinct regions")
+
+    def endpoint_in(self, region: str) -> tuple[str, int] | None:
+        """(other region, local gateway) if this link touches ``region``."""
+        if self.region_a == region:
+            return (self.region_b, self.gateway_a)
+        if self.region_b == region:
+            return (self.region_a, self.gateway_b)
+        return None
+
+    def far_gateway(self, from_region: str) -> tuple[str, int]:
+        """The (region, gateway building) on the far side.
+
+        Raises:
+            ValueError: if the link does not touch ``from_region``.
+        """
+        if self.region_a == from_region:
+            return (self.region_b, self.gateway_b)
+        if self.region_b == from_region:
+            return (self.region_a, self.gateway_a)
+        raise ValueError(f"link does not touch region {from_region!r}")
+
+
+@dataclass
+class Federation:
+    """A set of regional DFNs joined by long-haul links."""
+
+    regions: dict[str, Region] = field(default_factory=dict)
+    links: list[InterRegionLink] = field(default_factory=list)
+
+    def add_region(self, region: Region) -> None:
+        """Register a region.
+
+        Raises:
+            ValueError: on a duplicate region name.
+        """
+        if region.name in self.regions:
+            raise ValueError(f"duplicate region name {region.name!r}")
+        self.regions[region.name] = region
+
+    def add_link(self, link: InterRegionLink) -> None:
+        """Register a long-haul link.
+
+        Raises:
+            KeyError: if either region is unknown.
+            ValueError: if either endpoint is not a registered gateway.
+        """
+        for region_name, gateway in (
+            (link.region_a, link.gateway_a),
+            (link.region_b, link.gateway_b),
+        ):
+            region = self.regions[region_name]
+            if gateway not in region.gateway_buildings:
+                raise ValueError(
+                    f"building {gateway} is not a gateway of region {region_name!r}"
+                )
+        self.links.append(link)
+
+    def region_path(self, src_region: str, dst_region: str) -> list[InterRegionLink] | None:
+        """The fewest-links path between regions (None if disconnected).
+
+        Raises:
+            KeyError: for unknown region names.
+        """
+        if src_region not in self.regions or dst_region not in self.regions:
+            raise KeyError("unknown region name")
+        if src_region == dst_region:
+            return []
+        # BFS over regions, remembering the link used to enter each.
+        parent: dict[str, tuple[str, InterRegionLink]] = {}
+        queue = deque([src_region])
+        seen = {src_region}
+        while queue:
+            current = queue.popleft()
+            for link in self.links:
+                touch = link.endpoint_in(current)
+                if touch is None:
+                    continue
+                other, _ = touch
+                if other in seen:
+                    continue
+                parent[other] = (current, link)
+                if other == dst_region:
+                    path = []
+                    node = other
+                    while node != src_region:
+                        prev, via = parent[node]
+                        path.append(via)
+                        node = prev
+                    return list(reversed(path))
+                seen.add(other)
+                queue.append(other)
+        return None
+
+
+def make_region(
+    name: str,
+    city: City,
+    graph: APGraph,
+    gateway_buildings: list[int],
+    building_graph: BuildingGraph | None = None,
+) -> Region:
+    """Convenience constructor wiring a router for the region."""
+    router = BuildingRouter(city, graph=building_graph)
+    return Region(
+        name=name,
+        city=city,
+        graph=graph,
+        router=router,
+        gateway_buildings=list(gateway_buildings),
+    )

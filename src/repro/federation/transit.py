@@ -1,0 +1,158 @@
+"""Inter-region message transit: CityMesh legs stitched by gateways.
+
+A message from (region A, building x) to (region B, building y) is
+delivered as: CityMesh unicast x -> A's gateway, long-haul hop to B's
+gateway, CityMesh unicast gateway -> y (with more middle legs when the
+region path is longer).  Each intra-region leg is a full event-based
+simulation, so regional outages and conduit failures surface here too.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..buildgraph import NoRouteError
+from ..security import resilient_send
+from ..sim import ConduitPolicy, simulate_broadcast
+from .model import Federation, Region
+
+
+@dataclass(frozen=True)
+class TransitLeg:
+    """One hop of an inter-region delivery."""
+
+    kind: str  # "mesh" or "long-haul"
+    region: str
+    src_building: int
+    dst_building: int
+    delivered: bool
+    transmissions: int
+    latency_s: float
+
+
+@dataclass
+class TransitReport:
+    """Outcome of one inter-region delivery."""
+
+    delivered: bool
+    legs: list[TransitLeg] = field(default_factory=list)
+
+    @property
+    def mesh_transmissions(self) -> int:
+        """Total CityMesh broadcasts across all intra-region legs."""
+        return sum(leg.transmissions for leg in self.legs if leg.kind == "mesh")
+
+    @property
+    def total_latency_s(self) -> float:
+        """Accumulated latency across all legs."""
+        return sum(leg.latency_s for leg in self.legs)
+
+
+RETRY_TIMEOUT_S = 2.0  # sender-side retransmission timer per attempt
+
+
+def _mesh_leg(
+    region: Region,
+    src_building: int,
+    dst_building: int,
+    rng: random.Random,
+    attempts: int = 3,
+) -> TransitLeg:
+    """One CityMesh unicast inside a region, with sender retransmission.
+
+    Gateways (and senders) retry a missing end-to-end acknowledgement
+    up to ``attempts`` times; rebroadcast jitter re-randomises each
+    attempt, so transient conduit failures usually clear.
+    """
+    if src_building == dst_building:
+        return TransitLeg("mesh", region.name, src_building, dst_building, True, 0, 0.0)
+    src_aps = region.graph.aps_in_building(src_building)
+    if not src_aps:
+        return TransitLeg("mesh", region.name, src_building, dst_building, False, 0, 0.0)
+    try:
+        plan = region.router.plan(src_building, dst_building)
+    except (NoRouteError, KeyError):
+        return TransitLeg("mesh", region.name, src_building, dst_building, False, 0, 0.0)
+    # First shot: the plain conduit broadcast.
+    policy = ConduitPolicy(plan.conduits, region.city)
+    result = simulate_broadcast(region.graph, src_aps[0], dst_building, policy, rng)
+    if result.delivered:
+        return TransitLeg(
+            kind="mesh",
+            region=region.name,
+            src_building=src_building,
+            dst_building=dst_building,
+            delivered=True,
+            transmissions=result.transmissions,
+            latency_s=result.delivery_time_s or 0.0,
+        )
+    # Retries widen the conduit and detour the route — the same
+    # mitigation gateways need against blackholes works against
+    # mispredicted hops (see repro.security.resilient).
+    report = resilient_send(
+        region.city,
+        region.graph,
+        region.router,
+        src_aps[0],
+        dst_building,
+        rng,
+        compromised=frozenset(),
+        max_attempts=max(1, attempts - 1),
+    )
+    return TransitLeg(
+        kind="mesh",
+        region=region.name,
+        src_building=src_building,
+        dst_building=dst_building,
+        delivered=report.delivered,
+        transmissions=result.transmissions + report.total_transmissions,
+        latency_s=RETRY_TIMEOUT_S * report.attempts,
+    )
+
+
+def send_interregion(
+    federation: Federation,
+    src_region: str,
+    src_building: int,
+    dst_region: str,
+    dst_building: int,
+    rng: random.Random,
+) -> TransitReport:
+    """Deliver one message across the federation.
+
+    Raises:
+        KeyError: for unknown region names.
+    """
+    report = TransitReport(delivered=False)
+    path = federation.region_path(src_region, dst_region)
+    if path is None:
+        return report  # regions disconnected: nothing to even attempt
+
+    current_region = federation.regions[src_region]
+    current_building = src_building
+    for link in path:
+        _, local_gateway = link.endpoint_in(current_region.name)  # type: ignore[misc]
+        leg = _mesh_leg(current_region, current_building, local_gateway, rng)
+        report.legs.append(leg)
+        if not leg.delivered:
+            return report
+        far_region_name, far_gateway = link.far_gateway(current_region.name)
+        report.legs.append(
+            TransitLeg(
+                kind="long-haul",
+                region=f"{current_region.name}->{far_region_name}",
+                src_building=local_gateway,
+                dst_building=far_gateway,
+                delivered=True,
+                transmissions=0,
+                latency_s=link.latency_s,
+            )
+        )
+        current_region = federation.regions[far_region_name]
+        current_building = far_gateway
+
+    final = _mesh_leg(current_region, current_building, dst_building, rng)
+    report.legs.append(final)
+    report.delivered = final.delivered
+    return report

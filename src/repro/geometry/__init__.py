@@ -1,0 +1,27 @@
+"""Planar geometry substrate for CityMesh.
+
+Everything downstream (city models, AP meshes, conduit routing, the
+event simulator) builds on these primitives.  Coordinates are metres in
+a local planar frame.
+"""
+
+from .conduit import ConduitPath, ConduitRect, covers_all
+from .holes import PolygonWithHoles
+from .index import GridIndex
+from .point import Point, centroid_of
+from .polygon import Polygon
+from .segment import Segment, point_segment_distance, segment_length
+
+__all__ = [
+    "ConduitPath",
+    "ConduitRect",
+    "GridIndex",
+    "Point",
+    "Polygon",
+    "PolygonWithHoles",
+    "Segment",
+    "centroid_of",
+    "covers_all",
+    "point_segment_distance",
+    "segment_length",
+]

@@ -1,0 +1,156 @@
+"""Oriented conduit rectangles (Figure 4 of the paper).
+
+A *conduit* is the rectangle of width ``W`` superimposed over one leg of
+a compressed building route: it runs from one waypoint building's
+centroid to the next, and an AP rebroadcasts a packet iff it sits inside
+one of the packet's conduits.  The membership test is therefore the
+single hottest geometric predicate in the whole system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .point import Point
+from .segment import Segment
+
+
+@dataclass(frozen=True, slots=True)
+class ConduitRect:
+    """One conduit leg: the set of points within ``width/2`` laterally of
+    the segment ``start -> end`` and within its longitudinal extent.
+
+    Endpoints are included (a point exactly on a waypoint centroid is in
+    both adjacent conduits, which keeps consecutive conduits connected).
+    """
+
+    start: Point
+    end: Point
+    width: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"conduit width must be positive, got {self.width}")
+
+    @property
+    def length(self) -> float:
+        """Longitudinal extent L of the conduit."""
+        return self.start.distance_to(self.end)
+
+    def contains(self, p: Point) -> bool:
+        """Whether ``p`` lies inside this conduit rectangle (inclusive)."""
+        d = self.end - self.start
+        denom = d.norm_sq()
+        half_w = self.width / 2.0
+        if denom == 0.0:
+            # Degenerate conduit: a disc of radius width/2 at the waypoint.
+            return p.distance_to(self.start) <= half_w
+        v = p - self.start
+        t = v.dot(d) / denom
+        if t < 0.0 or t > 1.0:
+            return False
+        # Lateral offset = |cross| / |d|.
+        lateral = abs(v.cross(d)) / (denom**0.5)
+        return lateral <= half_w
+
+    def distance_to(self, p: Point) -> float:
+        """Distance from ``p`` to the conduit (0 if inside)."""
+        if self.contains(p):
+            return 0.0
+        axial = Segment(self.start, self.end).distance_to_point(p)
+        return max(0.0, axial - self.width / 2.0)
+
+    def intersects_polygon(self, polygon) -> bool:
+        """Whether a polygon footprint overlaps this conduit.
+
+        True when any polygon vertex is inside the conduit, any conduit
+        corner is inside the polygon, or any pair of edges crosses.
+        ``polygon`` is a :class:`repro.geometry.Polygon` (typed loosely
+        to avoid a circular import).
+        """
+        if any(self.contains(v) for v in polygon.vertices):
+            return True
+        corners = self.corners()
+        if any(polygon.contains(c) for c in corners):
+            return True
+        rect_edges = [
+            Segment(corners[i], corners[(i + 1) % 4]) for i in range(4)
+        ]
+        for poly_edge in polygon.edges():
+            for rect_edge in rect_edges:
+                if poly_edge.intersects(rect_edge):
+                    return True
+        return False
+
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        """The four rectangle corners (for rendering and debugging)."""
+        d = self.end - self.start
+        if d.norm_sq() == 0.0:
+            h = self.width / 2.0
+            return (
+                Point(self.start.x - h, self.start.y - h),
+                Point(self.start.x + h, self.start.y - h),
+                Point(self.start.x + h, self.start.y + h),
+                Point(self.start.x - h, self.start.y + h),
+            )
+        n = d.normalized().perpendicular() * (self.width / 2.0)
+        return (self.start + n, self.end + n, self.end - n, self.start - n)
+
+
+@dataclass(frozen=True)
+class ConduitPath:
+    """A chain of conduits: the decompressed geographic route region."""
+
+    rects: tuple[ConduitRect, ...]
+
+    def __init__(self, rects: Sequence[ConduitRect]):
+        object.__setattr__(self, "rects", tuple(rects))
+
+    @staticmethod
+    def from_waypoints(waypoints: Sequence[Point], width: float) -> "ConduitPath":
+        """Build the conduit chain connecting consecutive waypoints.
+
+        A single waypoint yields one degenerate (disc) conduit so that a
+        source-equals-destination route still has a nonempty region.
+        """
+        if not waypoints:
+            raise ValueError("at least one waypoint is required")
+        if len(waypoints) == 1:
+            return ConduitPath([ConduitRect(waypoints[0], waypoints[0], width)])
+        return ConduitPath(
+            [
+                ConduitRect(a, b, width)
+                for a, b in zip(waypoints, waypoints[1:])
+            ]
+        )
+
+    def contains(self, p: Point) -> bool:
+        """Whether ``p`` is inside any conduit of the chain."""
+        return any(r.contains(p) for r in self.rects)
+
+    def intersects_polygon(self, polygon) -> bool:
+        """Whether a footprint overlaps any conduit of the chain."""
+        return any(r.intersects_polygon(polygon) for r in self.rects)
+
+    def total_length(self) -> float:
+        """Sum of conduit lengths (route length after compression)."""
+        return sum(r.length for r in self.rects)
+
+    def waypoints(self) -> list[Point]:
+        """The waypoint centroids the chain was built from."""
+        if not self.rects:
+            return []
+        pts = [self.rects[0].start]
+        pts.extend(r.end for r in self.rects)
+        return pts
+
+
+def covers_all(start: Point, end: Point, width: float, points: Iterable[Point]) -> bool:
+    """Whether the conduit ``start -> end`` of ``width`` contains every point.
+
+    This is the predicate the route-compression algorithm (Figure 4)
+    evaluates while extending a conduit to the latest possible waypoint.
+    """
+    rect = ConduitRect(start, end, width)
+    return all(rect.contains(p) for p in points)

@@ -1,0 +1,136 @@
+"""Polygons with holes: courtyard buildings.
+
+OSM models buildings with courtyards as multipolygon relations (an
+outer ring plus inner rings).  ``PolygonWithHoles`` keeps the standard
+:class:`Polygon` interface that the rest of CityMesh consumes —
+``contains`` excludes the courtyards, ``area`` subtracts them, and
+``random_point_inside`` never lands in one — so a courtyard building
+drops into the existing pipeline unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .point import Point
+from .polygon import Polygon
+from .segment import Segment
+
+
+@dataclass(frozen=True)
+class PolygonWithHoles:
+    """An outer ring with zero or more hole rings.
+
+    Holes are assumed to lie strictly inside the outer ring and to be
+    mutually disjoint (which is what valid OSM multipolygons provide).
+    """
+
+    outer: Polygon
+    holes: tuple[Polygon, ...]
+
+    def __init__(self, outer: Polygon, holes: Sequence[Polygon] = ()):
+        object.__setattr__(self, "outer", outer)
+        object.__setattr__(self, "holes", tuple(holes))
+
+    # ------------------------------------------------------------------
+    # Polygon-compatible interface
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> tuple[Point, ...]:
+        """The outer ring's vertices (holes are interior detail)."""
+        return self.outer.vertices
+
+    @property
+    def bbox(self) -> tuple[float, float, float, float]:
+        """Bounding box of the outer ring."""
+        return self.outer.bbox
+
+    def area(self) -> float:
+        """Outer area minus the holes."""
+        return self.outer.area() - sum(h.area() for h in self.holes)
+
+    def perimeter(self) -> float:
+        """Total boundary length, holes included."""
+        return self.outer.perimeter() + sum(h.perimeter() for h in self.holes)
+
+    def centroid(self) -> Point:
+        """Area centroid of the ring-with-holes region."""
+        total = self.outer.area()
+        cx = self.outer.centroid().x * total
+        cy = self.outer.centroid().y * total
+        for hole in self.holes:
+            a = hole.area()
+            c = hole.centroid()
+            cx -= c.x * a
+            cy -= c.y * a
+            total -= a
+        if total <= 0:
+            return self.outer.centroid()
+        return Point(cx / total, cy / total)
+
+    def edges(self) -> Iterator[Segment]:
+        """All boundary edges: outer ring then each hole ring."""
+        yield from self.outer.edges()
+        for hole in self.holes:
+            yield from hole.edges()
+
+    def contains(self, p: Point) -> bool:
+        """Inside the outer ring but not inside any hole.
+
+        Hole boundaries count as inside (they are part of the walls).
+        """
+        if not self.outer.contains(p):
+            return False
+        for hole in self.holes:
+            if hole.contains(p):
+                # On the hole's wall is still the building.
+                if any(seg.distance_to_point(p) < 1e-9 for seg in hole.edges()):
+                    return True
+                return False
+        return True
+
+    def distance_to_point(self, p: Point) -> float:
+        """Distance from ``p`` to the solid region (0 if inside)."""
+        if self.contains(p):
+            return 0.0
+        candidates = [seg.distance_to_point(p) for seg in self.edges()]
+        return min(candidates)
+
+    def distance_to_polygon(self, other) -> float:
+        """Minimum distance to another polygon(-with-holes)."""
+        if any(self.contains(v) for v in other.vertices):
+            return 0.0
+        if any(other.contains(v) for v in self.outer.vertices):
+            return 0.0
+        best = float("inf")
+        other_edges = list(other.edges())
+        for sa in self.edges():
+            for sb in other_edges:
+                d = sa.distance_to_segment(sb)
+                if d == 0.0:
+                    return 0.0
+                if d < best:
+                    best = d
+        return best
+
+    def intersects_segment(self, seg: Segment) -> bool:
+        """Whether a segment touches the solid region."""
+        if self.contains(seg.a) or self.contains(seg.b):
+            return True
+        return any(edge.intersects(seg) for edge in self.edges())
+
+    def random_point_inside(self, rng: random.Random, max_tries: int = 1000) -> Point:
+        """Uniform sample from the solid region (never in a courtyard).
+
+        Raises:
+            RuntimeError: if sampling keeps landing in holes (only
+                plausible when holes cover almost the whole outer ring).
+        """
+        min_x, min_y, max_x, max_y = self.bbox
+        for _ in range(max_tries):
+            p = Point(rng.uniform(min_x, max_x), rng.uniform(min_y, max_y))
+            if self.contains(p):
+                return p
+        raise RuntimeError("failed to sample a point inside polygon-with-holes")

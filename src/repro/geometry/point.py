@@ -1,0 +1,109 @@
+"""Planar points and basic vector math.
+
+All CityMesh geometry lives in a local planar frame with coordinates in
+metres (see :mod:`repro.osm.projection` for how lat/lon maps into this
+frame).  ``Point`` is deliberately tiny and immutable so that it can be
+used as a dict key, stored in spatial indexes, and created in the
+millions without surprises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point (or free vector) in the local planar frame, in metres."""
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Point":
+        return Point(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def dot(self, other: "Point") -> float:
+        """Dot product, treating both points as vectors from the origin."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """Z component of the 3-D cross product (signed parallelogram area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length of this point treated as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def norm_sq(self) -> float:
+        """Squared Euclidean length (avoids a sqrt in hot paths)."""
+        return self.x * self.x + self.y * self.y
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def distance_sq_to(self, other: "Point") -> float:
+        """Squared Euclidean distance to ``other``."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def normalized(self) -> "Point":
+        """Unit vector in this direction.
+
+        Raises:
+            ValueError: if this is the zero vector.
+        """
+        n = self.norm()
+        if n == 0.0:
+            raise ValueError("cannot normalize the zero vector")
+        return Point(self.x / n, self.y / n)
+
+    def perpendicular(self) -> "Point":
+        """The vector rotated 90 degrees counter-clockwise."""
+        return Point(-self.y, self.x)
+
+    def lerp(self, other: "Point", t: float) -> "Point":
+        """Linear interpolation: ``self`` at t=0, ``other`` at t=1."""
+        return Point(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+
+def centroid_of(points: list[Point]) -> Point:
+    """Arithmetic mean of a non-empty list of points.
+
+    Raises:
+        ValueError: if ``points`` is empty.
+    """
+    if not points:
+        raise ValueError("centroid of empty point list is undefined")
+    sx = sum(p.x for p in points)
+    sy = sum(p.y for p in points)
+    n = len(points)
+    return Point(sx / n, sy / n)

@@ -1,0 +1,39 @@
+"""The §2 war-driving measurement study and its analysis pipeline."""
+
+from .crowdsourced import SurveyComparison, compare_survey_methods, crowdsourced_survey
+from .analysis import (
+    ap_sighting_locations,
+    common_ap_bins,
+    common_ap_pairs,
+    location_spread,
+    macs_per_scan_cdf,
+    spread_cdf,
+    table1_row,
+)
+from .scanner import Scan, ScanDataset, mac_address, run_survey
+from .study import AreaSpec, area_specs, run_study
+from .trajectory import Trajectory, grid_walk, line_walk, random_walk
+
+__all__ = [
+    "AreaSpec",
+    "Scan",
+    "SurveyComparison",
+    "ScanDataset",
+    "Trajectory",
+    "ap_sighting_locations",
+    "area_specs",
+    "common_ap_bins",
+    "common_ap_pairs",
+    "compare_survey_methods",
+    "crowdsourced_survey",
+    "grid_walk",
+    "line_walk",
+    "location_spread",
+    "mac_address",
+    "macs_per_scan_cdf",
+    "random_walk",
+    "run_study",
+    "run_survey",
+    "spread_cdf",
+    "table1_row",
+]

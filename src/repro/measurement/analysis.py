@@ -1,0 +1,130 @@
+"""Analysis of war-driving datasets: the §2 statistics.
+
+These functions compute exactly what the paper's Figures 1-2 and
+Table 1 report, and they are what one would run unchanged on real scan
+logs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import Cdf, WhiskerBin, whisker_bins
+from ..geometry import GridIndex, Point
+from .scanner import ScanDataset
+
+
+def macs_per_scan_cdf(dataset: ScanDataset) -> Cdf:
+    """Figure 1a: CDF of the number of MACs seen at each measurement.
+
+    Raises:
+        ValueError: for a dataset with no scans.
+    """
+    return Cdf.from_samples([scan.mac_count for scan in dataset.scans])
+
+
+def ap_sighting_locations(dataset: ScanDataset) -> dict[int, list[Point]]:
+    """Locations at which each AP was heard (APs never heard omitted)."""
+    sightings: dict[int, list[Point]] = {}
+    for scan in dataset.scans:
+        for ap_id in scan.heard:
+            sightings.setdefault(ap_id, []).append(scan.position)
+    return sightings
+
+
+def location_spread(points: list[Point]) -> float:
+    """Maximum distance between any two sighting locations.
+
+    The paper's spread metric: "the maximum distance between any two of
+    the locations", an estimate of the transmission-region diameter.
+    Uses the convex hull for large point sets (the diameter is attained
+    at hull vertices), falling back to the quadratic scan for small
+    ones.
+
+    Raises:
+        ValueError: for an empty point list.
+    """
+    if not points:
+        raise ValueError("spread of zero sightings is undefined")
+    if len(points) == 1:
+        return 0.0
+    pts = points
+    if len(pts) > 40:
+        arr = np.array([(p.x, p.y) for p in pts])
+        try:
+            from scipy.spatial import ConvexHull
+
+            hull = ConvexHull(arr)
+            pts = [Point(*arr[v]) for v in hull.vertices]
+        except Exception:
+            pts = points  # degenerate (collinear) inputs: brute force
+    best = 0.0
+    for i, a in enumerate(pts):
+        for b in pts[i + 1:]:
+            d = a.distance_sq_to(b)
+            if d > best:
+                best = d
+    return best**0.5
+
+
+def spread_cdf(dataset: ScanDataset, min_sightings: int = 2) -> Cdf:
+    """Figure 1b: CDF of per-MAC location spread.
+
+    APs heard fewer than ``min_sightings`` times contribute no spread
+    estimate (a single sighting has spread 0 by construction and would
+    just pile mass at zero).
+    """
+    spreads = [
+        location_spread(points)
+        for points in ap_sighting_locations(dataset).values()
+        if len(points) >= min_sightings
+    ]
+    if not spreads:
+        raise ValueError("no AP was sighted often enough to estimate spread")
+    return Cdf.from_samples(spreads)
+
+
+def common_ap_pairs(
+    dataset: ScanDataset,
+    max_distance: float = 500.0,
+    stride: int = 1,
+) -> list[tuple[float, int]]:
+    """(distance L, # common APs) for measurement pairs within range.
+
+    The paper records, for each pair of measurements, their distance
+    and the number of APs observed at both locations (Figure 2).  Pairs
+    farther apart than ``max_distance`` are skipped (they share nothing
+    and would dominate the pair count); ``stride`` subsamples the scans
+    for tractability on large surveys.
+    """
+    if stride < 1:
+        raise ValueError("stride must be at least 1")
+    scans = dataset.scans[::stride]
+    index: GridIndex[int] = GridIndex(cell_size=max(max_distance, 1.0))
+    for i, scan in enumerate(scans):
+        index.insert(i, scan.position)
+    pairs: list[tuple[float, int]] = []
+    for i, scan in enumerate(scans):
+        for j in index.query_radius(scan.position, max_distance):
+            if j <= i:
+                continue
+            other = scans[j]
+            common = len(scan.heard & other.heard)
+            pairs.append((scan.position.distance_to(other.position), common))
+    return pairs
+
+
+def common_ap_bins(
+    dataset: ScanDataset,
+    bin_width: float = 50.0,
+    max_distance: float = 500.0,
+    stride: int = 1,
+) -> list[WhiskerBin]:
+    """Figure 2: whisker percentiles of common-AP counts per distance bin."""
+    pairs = common_ap_pairs(dataset, max_distance=max_distance, stride=stride)
+    return whisker_bins(pairs, bin_width=bin_width, max_value=max_distance)
+
+
+def table1_row(dataset: ScanDataset) -> tuple[str, int, int]:
+    """One Table 1 row: (area, # measurements, # unique APs)."""
+    return (dataset.area, dataset.measurement_count(), dataset.unique_ap_count())

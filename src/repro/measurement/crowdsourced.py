@@ -1,0 +1,146 @@
+"""Crowdsourced survey simulation: why the paper collected its own data.
+
+Footnote 1 of §2: "AP survey databases, like wigle.net, are
+sporadically collected via crowdsourcing and thus are non-uniform, and
+often lack precise locations."  This module simulates exactly those
+two defects — popularity-biased sampling (contributors cluster around
+a few hotspots) and imprecise recorded locations (GPS noise) — so the
+distortion they inject into the §2 statistics can be measured against
+a systematic survey of the same ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..geometry import GridIndex, Point
+from ..mesh import AccessPoint
+from ..sim import FadingDetection
+from .scanner import Scan, ScanDataset
+
+
+def crowdsourced_survey(
+    area: str,
+    aps: list[AccessPoint],
+    bounds: tuple[float, float, float, float],
+    detection: FadingDetection,
+    rng: random.Random,
+    samples: int = 500,
+    hotspots: int = 4,
+    hotspot_sigma_m: float = 120.0,
+    gps_noise_sigma_m: float = 25.0,
+) -> ScanDataset:
+    """Simulate a wigle-style crowdsourced AP survey.
+
+    Sample locations are drawn from a mixture of Gaussians centred on a
+    few random hotspots (where contributors actually go) instead of a
+    systematic sweep, and each scan's *recorded* position carries GPS
+    noise while detection happens at the *true* position.
+
+    Args:
+        area: dataset label.
+        aps: ground-truth APs.
+        bounds: ``(min_x, min_y, max_x, max_y)`` of the survey area.
+        detection: radio detection model.
+        rng: randomness source.
+        samples: number of crowdsourced measurements.
+        hotspots: number of contributor hotspots.
+        hotspot_sigma_m: spatial spread of contributions per hotspot.
+        gps_noise_sigma_m: standard deviation of recorded-location error.
+
+    Raises:
+        ValueError: for non-positive samples or hotspot counts.
+    """
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    if hotspots < 1:
+        raise ValueError("need at least one hotspot")
+    min_x, min_y, max_x, max_y = bounds
+    centers = [
+        Point(rng.uniform(min_x, max_x), rng.uniform(min_y, max_y))
+        for _ in range(hotspots)
+    ]
+    index: GridIndex[int] = GridIndex(cell_size=max(detection.max_range, 1.0))
+    positions = {ap.id: ap.position for ap in aps}
+    for ap in aps:
+        index.insert(ap.id, ap.position)
+
+    scans: list[Scan] = []
+    for i in range(samples):
+        center = centers[rng.randrange(hotspots)]
+        true = Point(
+            min(max(rng.gauss(center.x, hotspot_sigma_m), min_x), max_x),
+            min(max(rng.gauss(center.y, hotspot_sigma_m), min_y), max_y),
+        )
+        heard = frozenset(
+            ap_id
+            for ap_id in index.query_radius(true, detection.max_range)
+            if detection.detects(true, positions[ap_id], rng)
+        )
+        recorded = Point(
+            rng.gauss(true.x, gps_noise_sigma_m),
+            rng.gauss(true.y, gps_noise_sigma_m),
+        )
+        scans.append(Scan(index=i, time_s=float(i), position=recorded, heard=heard))
+    return ScanDataset(area=area, scans=scans, ap_count=len(aps))
+
+
+@dataclass(frozen=True)
+class SurveyComparison:
+    """Systematic vs crowdsourced statistics on the same ground truth."""
+
+    systematic_measurements: int
+    crowdsourced_measurements: int
+    systematic_unique_aps: int
+    crowdsourced_unique_aps: int
+    systematic_median_spread: float
+    crowdsourced_median_spread: float
+    coverage_systematic: float
+    coverage_crowdsourced: float
+
+
+def compare_survey_methods(seed: int = 0) -> SurveyComparison:
+    """Run both survey styles over one downtown and compare the §2 stats.
+
+    The crowdsourced survey gets the *same number of measurements* as
+    the systematic walk, so every difference is methodology, not effort.
+    """
+    from ..city import grid_downtown
+    from ..mesh import place_aps
+    from .analysis import spread_cdf
+    from .scanner import run_survey
+    from .trajectory import grid_walk
+
+    rng = random.Random(seed)
+    city = grid_downtown(seed=seed, blocks_x=8, blocks_y=8)
+    aps = place_aps(city, density=1 / 40, rng=rng)
+    detection = FadingDetection(reliable_range=30.0, max_range=90.0)
+    min_x, min_y, max_x, max_y = city.bounds()
+
+    systematic = run_survey(
+        "systematic",
+        aps,
+        grid_walk(min_x, min_y, max_x, max_y, street_pitch=104.0),
+        detection,
+        random.Random(seed + 1),
+        rate_hz=0.35,
+    )
+    crowd = crowdsourced_survey(
+        "crowdsourced",
+        aps,
+        (min_x, min_y, max_x, max_y),
+        detection,
+        random.Random(seed + 2),
+        samples=systematic.measurement_count(),
+    )
+    return SurveyComparison(
+        systematic_measurements=systematic.measurement_count(),
+        crowdsourced_measurements=crowd.measurement_count(),
+        systematic_unique_aps=systematic.unique_ap_count(),
+        crowdsourced_unique_aps=crowd.unique_ap_count(),
+        systematic_median_spread=spread_cdf(systematic).median(),
+        crowdsourced_median_spread=spread_cdf(crowd).median(),
+        coverage_systematic=systematic.unique_ap_count() / len(aps),
+        coverage_crowdsourced=crowd.unique_ap_count() / len(aps),
+    )

@@ -1,0 +1,145 @@
+"""Survey trajectories: where the war-driver walks or bikes.
+
+The paper's §2 study collected beacon frames "by walking or bicycling"
+through four areas with a sampling frequency of 0.2–0.4 Hz.  A
+trajectory here is a polyline of waypoints plus a speed; sampling it at
+the scan rate yields the measurement positions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..geometry import Point
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A survey path: waypoints walked at constant speed."""
+
+    waypoints: tuple[Point, ...]
+    speed_mps: float
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 2:
+            raise ValueError("a trajectory needs at least two waypoints")
+        if self.speed_mps <= 0:
+            raise ValueError("speed must be positive")
+
+    def length_m(self) -> float:
+        """Total path length in metres."""
+        return sum(
+            a.distance_to(b) for a, b in zip(self.waypoints, self.waypoints[1:])
+        )
+
+    def duration_s(self) -> float:
+        """Time to traverse the whole path."""
+        return self.length_m() / self.speed_mps
+
+    def position_at(self, t: float) -> Point:
+        """Position after walking for ``t`` seconds (clamped to the end)."""
+        if t <= 0:
+            return self.waypoints[0]
+        remaining = t * self.speed_mps
+        for a, b in zip(self.waypoints, self.waypoints[1:]):
+            leg = a.distance_to(b)
+            if remaining <= leg:
+                return a.lerp(b, remaining / leg) if leg > 0 else a
+            remaining -= leg
+        return self.waypoints[-1]
+
+    def sample(self, rate_hz: float) -> list[tuple[float, Point]]:
+        """(time, position) samples at a fixed scan rate over the path.
+
+        Raises:
+            ValueError: for a non-positive rate.
+        """
+        if rate_hz <= 0:
+            raise ValueError("sampling rate must be positive")
+        period = 1.0 / rate_hz
+        duration = self.duration_s()
+        samples = []
+        t = 0.0
+        while t <= duration:
+            samples.append((t, self.position_at(t)))
+            t += period
+        return samples
+
+
+def grid_walk(
+    min_x: float,
+    min_y: float,
+    max_x: float,
+    max_y: float,
+    street_pitch: float,
+    speed_mps: float = 1.4,
+    serpentine: bool = True,
+) -> Trajectory:
+    """A serpentine walk along the streets of a gridded area.
+
+    Sweeps horizontal streets spaced ``street_pitch`` apart, alternating
+    direction like a survey lawnmower pattern.
+    """
+    if street_pitch <= 0:
+        raise ValueError("street pitch must be positive")
+    waypoints: list[Point] = []
+    y = min_y
+    forward = True
+    while y <= max_y:
+        if forward:
+            waypoints.append(Point(min_x, y))
+            waypoints.append(Point(max_x, y))
+        else:
+            waypoints.append(Point(max_x, y))
+            waypoints.append(Point(min_x, y))
+        if serpentine:
+            forward = not forward
+        y += street_pitch
+    if len(waypoints) < 2:
+        raise ValueError("area too small for the given street pitch")
+    return Trajectory(tuple(waypoints), speed_mps)
+
+
+def line_walk(a: Point, b: Point, speed_mps: float = 1.4, passes: int = 1) -> Trajectory:
+    """A straight out-and-back path (e.g. along a river bank)."""
+    if passes < 1:
+        raise ValueError("passes must be at least 1")
+    waypoints = []
+    for i in range(passes):
+        waypoints.extend([a, b] if i % 2 == 0 else [b, a])
+    return Trajectory(tuple(waypoints), speed_mps)
+
+
+def random_walk(
+    start: Point,
+    extent: float,
+    legs: int,
+    rng: random.Random,
+    speed_mps: float = 1.4,
+    leg_length: tuple[float, float] = (80.0, 250.0),
+) -> Trajectory:
+    """A meandering walk confined to a square area (campus strolls)."""
+    if legs < 1:
+        raise ValueError("need at least one leg")
+    waypoints = [start]
+    current = start
+    for _ in range(legs):
+        for _ in range(20):
+            dx = rng.uniform(-leg_length[1], leg_length[1])
+            dy = rng.uniform(-leg_length[1], leg_length[1])
+            candidate = Point(current.x + dx, current.y + dy)
+            dist = current.distance_to(candidate)
+            if (
+                leg_length[0] <= dist <= leg_length[1]
+                and 0 <= candidate.x <= extent
+                and 0 <= candidate.y <= extent
+            ):
+                waypoints.append(candidate)
+                current = candidate
+                break
+        else:
+            break
+    if len(waypoints) < 2:
+        raise ValueError("failed to generate a random walk")
+    return Trajectory(tuple(waypoints), speed_mps)

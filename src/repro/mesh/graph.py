@@ -1,0 +1,221 @@
+"""The AP connectivity graph: a unit-disk graph over placed APs.
+
+Two APs are connected when their distance is at most the transmission
+range (50 m in the paper's evaluation, symmetric cutoff).  The graph is
+the simulation ground truth — the building graph used for routing is
+built *without* looking at it, which is exactly the paper's point.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..geometry import GridIndex, Point
+from .placement import AccessPoint
+
+DEFAULT_TRANSMISSION_RANGE = 50.0  # metres, the paper's evaluation setting
+
+
+@dataclass
+class APGraph:
+    """Unit-disk graph over access points.
+
+    Attributes:
+        aps: all access points, indexed by their contiguous ids.
+        transmission_range: symmetric range cutoff in metres.
+    """
+
+    aps: list[AccessPoint]
+    transmission_range: float = DEFAULT_TRANSMISSION_RANGE
+    _adjacency: list[list[int]] = field(init=False, repr=False)
+    _index: GridIndex[int] = field(init=False, repr=False)
+    _by_building: dict[int, list[int]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.transmission_range <= 0:
+            raise ValueError("transmission range must be positive")
+        for i, ap in enumerate(self.aps):
+            if ap.id != i:
+                raise ValueError("AP ids must be contiguous from 0 (use place_aps)")
+        max_range = self.transmission_range
+        for ap in self.aps:
+            if ap.range_m is not None:
+                if ap.range_m <= 0:
+                    raise ValueError(f"AP {ap.id} has non-positive range")
+                max_range = max(max_range, ap.range_m)
+        self._index = GridIndex(cell_size=max(max_range, 1.0))
+        for ap in self.aps:
+            self._index.insert(ap.id, ap.position)
+        # Heterogeneous ranges: a usable (bidirectional) link requires
+        # each end to hear the other, i.e. distance <= min of the two
+        # effective ranges.  With uniform ranges this reduces to the
+        # paper's symmetric cutoff.
+        eff = [
+            ap.range_m if ap.range_m is not None else self.transmission_range
+            for ap in self.aps
+        ]
+        self._adjacency = [[] for _ in self.aps]
+        for ap in self.aps:
+            for other_id in self._index.query_radius(ap.position, eff[ap.id]):
+                if other_id == ap.id:
+                    continue
+                link_range = min(eff[ap.id], eff[other_id])
+                if ap.position.distance_to(self.aps[other_id].position) <= link_range:
+                    self._adjacency[ap.id].append(other_id)
+        self._by_building = {}
+        for ap in self.aps:
+            self._by_building.setdefault(ap.building_id, []).append(ap.id)
+
+    def effective_range(self, ap_id: int) -> float:
+        """The transmission range in force for one AP."""
+        r = self.aps[ap_id].range_m
+        return r if r is not None else self.transmission_range
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.aps)
+
+    def neighbors(self, ap_id: int) -> list[int]:
+        """Ids of APs within transmission range of ``ap_id``."""
+        return self._adjacency[ap_id]
+
+    def degree(self, ap_id: int) -> int:
+        """Number of one-hop neighbours."""
+        return len(self._adjacency[ap_id])
+
+    def position(self, ap_id: int) -> Point:
+        """Planar position of an AP."""
+        return self.aps[ap_id].position
+
+    def aps_in_building(self, building_id: int) -> list[int]:
+        """Ids of APs placed inside the given building (possibly empty)."""
+        return self._by_building.get(building_id, [])
+
+    def aps_within(self, center: Point, radius: float) -> list[int]:
+        """Ids of APs within ``radius`` of an arbitrary point."""
+        return self._index.query_radius(center, radius)
+
+    def edge_count(self) -> int:
+        """Number of undirected links in the mesh."""
+        return sum(len(a) for a in self._adjacency) // 2
+
+    # ------------------------------------------------------------------
+    # Path queries (ground-truth oracles used for evaluation only)
+    # ------------------------------------------------------------------
+    def hop_distance(self, src: int, dst: int) -> int | None:
+        """Minimum hop count between two APs via BFS, or None."""
+        if src == dst:
+            return 0
+        dist = {src: 0}
+        queue = deque([src])
+        while queue:
+            u = queue.popleft()
+            d = dist[u]
+            for v in self._adjacency[u]:
+                if v not in dist:
+                    if v == dst:
+                        return d + 1
+                    dist[v] = d + 1
+                    queue.append(v)
+        return None
+
+    def shortest_path(self, src: int, dst: int) -> list[int] | None:
+        """A minimum-hop AP path from ``src`` to ``dst``, or None."""
+        if src == dst:
+            return [src]
+        parent: dict[int, int] = {src: src}
+        queue = deque([src])
+        while queue:
+            u = queue.popleft()
+            for v in self._adjacency[u]:
+                if v not in parent:
+                    parent[v] = u
+                    if v == dst:
+                        path = [dst]
+                        while path[-1] != src:
+                            path.append(parent[path[-1]])
+                        return list(reversed(path))
+                    queue.append(v)
+        return None
+
+    def min_hops_to_building(self, src: int, building_id: int) -> int | None:
+        """Minimum hops from ``src`` to *any* AP in the target building.
+
+        This is the denominator of the paper's transmission-overhead
+        metric: the absolute best case number of transmissions.
+        """
+        targets = set(self._by_building.get(building_id, []))
+        if not targets:
+            return None
+        if src in targets:
+            return 0
+        dist = {src: 0}
+        queue = deque([src])
+        while queue:
+            u = queue.popleft()
+            d = dist[u]
+            for v in self._adjacency[u]:
+                if v not in dist:
+                    if v in targets:
+                        return d + 1
+                    dist[v] = d + 1
+                    queue.append(v)
+        return None
+
+    def component_of(self, ap_id: int) -> set[int]:
+        """All AP ids reachable from ``ap_id`` (its connected component)."""
+        seen = {ap_id}
+        queue = deque([ap_id])
+        while queue:
+            u = queue.popleft()
+            for v in self._adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        return seen
+
+    def components(self) -> list[set[int]]:
+        """All connected components, largest first."""
+        seen: set[int] = set()
+        comps: list[set[int]] = []
+        for ap in self.aps:
+            if ap.id in seen:
+                continue
+            comp = self.component_of(ap.id)
+            seen |= comp
+            comps.append(comp)
+        comps.sort(key=len, reverse=True)
+        return comps
+
+    def component_ids(self) -> list[int]:
+        """Component label per AP (lazily computed once and cached).
+
+        Two APs are mutually reachable iff their labels are equal.
+        """
+        cached = getattr(self, "_component_ids", None)
+        if cached is not None:
+            return cached
+        labels = [-1] * len(self.aps)
+        next_label = 0
+        for ap in self.aps:
+            if labels[ap.id] != -1:
+                continue
+            for member in self.component_of(ap.id):
+                labels[member] = next_label
+            next_label += 1
+        self._component_ids = labels
+        return labels
+
+    def buildings_reachable(self, src_building: int, dst_building: int) -> bool:
+        """Whether any AP in ``src_building`` can reach any AP in
+        ``dst_building`` through the mesh (the paper's *reachability*)."""
+        src_aps = self._by_building.get(src_building, [])
+        dst_aps = self._by_building.get(dst_building, [])
+        if not src_aps or not dst_aps:
+            return False
+        labels = self.component_ids()
+        dst_labels = {labels[ap] for ap in dst_aps}
+        return any(labels[ap] in dst_labels for ap in src_aps)

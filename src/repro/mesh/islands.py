@@ -1,0 +1,142 @@
+"""Island analysis and bridge-AP planning.
+
+The paper observes that rivers, parks, and highways fracture some
+cities "into multiple islands of connectivity" and proposes that "the
+addition of a small number of well-placed APs would serve to bridge
+connectivity between these islands" (§4).  This module implements both
+halves: detecting the islands and greedily planning the bridge APs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry import Point
+from .graph import APGraph
+from .placement import AccessPoint
+
+
+@dataclass(frozen=True)
+class Island:
+    """One connected component of the AP mesh."""
+
+    ap_ids: frozenset[int]
+    building_ids: frozenset[int]
+
+    @property
+    def size(self) -> int:
+        return len(self.ap_ids)
+
+
+def find_islands(graph: APGraph, min_size: int = 1) -> list[Island]:
+    """Connected components of the mesh as islands, largest first."""
+    islands = []
+    for comp in graph.components():
+        if len(comp) < min_size:
+            continue
+        buildings = frozenset(graph.aps[i].building_id for i in comp)
+        islands.append(Island(ap_ids=frozenset(comp), building_ids=buildings))
+    return islands
+
+
+@dataclass(frozen=True)
+class BridgePlan:
+    """A proposed chain of new APs connecting two islands."""
+
+    from_ap: int
+    to_ap: int
+    new_positions: tuple[Point, ...]
+
+    @property
+    def ap_count(self) -> int:
+        return len(self.new_positions)
+
+
+def closest_gap(graph: APGraph, a: Island, b: Island) -> tuple[int, int, float]:
+    """The closest AP pair across two islands: ``(ap_a, ap_b, distance)``.
+
+    Uses the spatial index (expanding-radius nearest queries over the
+    smaller island) rather than the full cross product.
+    """
+    small, large = (a, b) if a.size <= b.size else (b, a)
+    large_ids = large.ap_ids
+    best: tuple[int, int, float] | None = None
+    for ap_id in small.ap_ids:
+        p = graph.position(ap_id)
+        # Expanding ring search over the whole index, filtered to the
+        # target island.
+        radius = graph.transmission_range
+        while True:
+            candidates = [c for c in graph.aps_within(p, radius) if c in large_ids]
+            if candidates:
+                nearest = min(candidates, key=lambda c: graph.position(c).distance_to(p))
+                d = graph.position(nearest).distance_to(p)
+                if best is None or d < best[2]:
+                    best = (ap_id, nearest, d) if small is a else (nearest, ap_id, d)
+                break
+            radius *= 2
+            if best is not None and radius > best[2] * 2:
+                break
+            if radius > 1e7:
+                break
+    if best is None:
+        raise ValueError("islands share no finite gap (one of them is empty?)")
+    return best
+
+
+def plan_bridge(graph: APGraph, a: Island, b: Island, spacing_factor: float = 0.8) -> BridgePlan:
+    """Plan a straight chain of new APs across the gap between islands.
+
+    New APs are spaced at ``spacing_factor * transmission_range`` so
+    consecutive chain members (and the existing endpoints) are safely
+    within range of each other.
+    """
+    if not 0 < spacing_factor <= 1:
+        raise ValueError("spacing_factor must be in (0, 1]")
+    ap_a, ap_b, gap = closest_gap(graph, a, b)
+    p_a = graph.position(ap_a)
+    p_b = graph.position(ap_b)
+    spacing = spacing_factor * graph.transmission_range
+    if gap <= graph.transmission_range:
+        return BridgePlan(from_ap=ap_a, to_ap=ap_b, new_positions=())
+    segments = int(gap // spacing) + 1
+    positions = tuple(
+        p_a.lerp(p_b, i / segments) for i in range(1, segments)
+    )
+    return BridgePlan(from_ap=ap_a, to_ap=ap_b, new_positions=positions)
+
+
+def bridge_all_islands(
+    graph: APGraph,
+    min_island_size: int = 5,
+    spacing_factor: float = 0.8,
+) -> tuple[list[BridgePlan], list[AccessPoint]]:
+    """Greedily connect every significant island to the largest one.
+
+    Returns the per-island plans and the concrete new APs (assigned to
+    the nearest existing building of their chain endpoint, with fresh
+    contiguous ids) that an operator would deploy.
+
+    Islands smaller than ``min_island_size`` APs are ignored — they are
+    typically isolated single buildings not worth bridging.
+    """
+    islands = find_islands(graph, min_size=min_island_size)
+    if len(islands) <= 1:
+        return [], []
+    main = islands[0]
+    plans: list[BridgePlan] = []
+    new_aps: list[AccessPoint] = []
+    next_id = len(graph.aps)
+    for island in islands[1:]:
+        plan = plan_bridge(graph, main, island, spacing_factor=spacing_factor)
+        plans.append(plan)
+        anchor_building = graph.aps[plan.from_ap].building_id
+        for pos in plan.new_positions:
+            new_aps.append(AccessPoint(id=next_id, position=pos, building_id=anchor_building))
+            next_id += 1
+    return plans, new_aps
+
+
+def apply_bridges(graph: APGraph, new_aps: list[AccessPoint]) -> APGraph:
+    """A new AP graph with the bridge APs added."""
+    return APGraph(aps=list(graph.aps) + list(new_aps), transmission_range=graph.transmission_range)

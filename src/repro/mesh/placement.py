@@ -1,0 +1,138 @@
+"""AP placement: populate building footprints with access points.
+
+The paper's simulator "randomly places APs in a 2D plane, inside
+building footprints at a configurable AP density" (§4).  The reference
+density used in the evaluation is 1 AP per 200 m² of building area,
+which the paper describes as relatively sparse.
+
+Bridge-kind structures are treated specially: §4 proposes "the
+addition of a small number of well-placed APs" to span connectivity
+gaps, so buildings whose kind appears in ``deliberate_spacing`` get
+APs placed deterministically along their long axis instead of randomly
+— modelling an operator who installs them on purpose.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..city import Building, City
+from ..geometry import Point
+
+DEFAULT_AP_DENSITY = 1.0 / 200.0  # APs per square metre of building area
+
+# Structures that exist specifically to carry connectivity (kind ->
+# AP spacing in metres along the structure's long axis).
+DEFAULT_DELIBERATE_SPACING: dict[str, float] = {"bridge": 35.0}
+
+
+@dataclass(frozen=True, slots=True)
+class AccessPoint:
+    """One Wi-Fi access point participating in the mesh.
+
+    ``range_m`` of None means the mesh-wide default transmission range;
+    a value overrides it for this AP (e.g. a rooftop AP on a tall
+    building with cleared line of sight — §4 hypothesises such APs
+    "would likely increase the transmission range and extend the
+    connectivity of the network").
+    """
+
+    id: int
+    position: Point
+    building_id: int
+    range_m: float | None = None
+
+
+def _deliberate_positions(building: Building, spacing: float) -> list[Point]:
+    """Evenly spaced positions along the footprint's long bbox axis."""
+    min_x, min_y, max_x, max_y = building.polygon.bbox
+    width = max_x - min_x
+    height = max_y - min_y
+    if width >= height:
+        a = Point(min_x, (min_y + max_y) / 2.0)
+        b = Point(max_x, (min_y + max_y) / 2.0)
+    else:
+        a = Point((min_x + max_x) / 2.0, min_y)
+        b = Point((min_x + max_x) / 2.0, max_y)
+    length = a.distance_to(b)
+    count = max(2, int(length // spacing) + 1)
+    return [a.lerp(b, i / (count - 1)) for i in range(count)]
+
+
+def place_aps(
+    city: City,
+    density: float = DEFAULT_AP_DENSITY,
+    rng: random.Random | None = None,
+    deliberate_spacing: dict[str, float] | None = None,
+    rooftop_fraction: float = 0.0,
+    rooftop_range: float = 120.0,
+) -> list[AccessPoint]:
+    """Place APs inside every building.
+
+    Ordinary buildings receive ``floor(area * density)`` APs uniformly
+    at random plus one more with probability equal to the fractional
+    remainder, so the expected count matches the density exactly even
+    for buildings smaller than ``1 / density`` (e.g. detached houses).
+
+    Buildings whose ``kind`` appears in ``deliberate_spacing`` (by
+    default bridge structures) instead get APs at fixed intervals along
+    their long axis — the §4 "well-placed APs" provision.
+
+    A ``rooftop_fraction`` of ordinary APs are promoted to rooftop APs
+    with ``rooftop_range`` metres of range — the §4 "taller buildings
+    … would likely increase the transmission range" hypothesis.
+
+    Args:
+        city: the city map.
+        density: expected APs per square metre of footprint.
+        rng: randomness source; defaults to a fresh ``Random(0)``.
+        deliberate_spacing: kind -> spacing overrides; pass ``{}`` to
+            disable deliberate placement entirely.
+        rooftop_fraction: probability that an AP is a rooftop AP.
+        rooftop_range: transmission range of rooftop APs in metres.
+
+    Raises:
+        ValueError: if ``density``, ``rooftop_fraction``, or
+            ``rooftop_range`` is out of range.
+    """
+    if density <= 0:
+        raise ValueError(f"AP density must be positive, got {density}")
+    if not 0 <= rooftop_fraction <= 1:
+        raise ValueError("rooftop fraction must be in [0, 1]")
+    if rooftop_range <= 0:
+        raise ValueError("rooftop range must be positive")
+    if rng is None:
+        rng = random.Random(0)
+    if deliberate_spacing is None:
+        deliberate_spacing = DEFAULT_DELIBERATE_SPACING
+    aps: list[AccessPoint] = []
+    next_id = 0
+    for building in city.buildings:
+        spacing = deliberate_spacing.get(building.kind)
+        if spacing is not None:
+            positions = _deliberate_positions(building, spacing)
+        else:
+            expected = building.area() * density
+            count = int(expected)
+            if rng.random() < expected - count:
+                count += 1
+            positions = [
+                building.polygon.random_point_inside(rng) for _ in range(count)
+            ]
+        for position in positions:
+            range_m = (
+                rooftop_range
+                if rooftop_fraction > 0 and rng.random() < rooftop_fraction
+                else None
+            )
+            aps.append(
+                AccessPoint(
+                    id=next_id,
+                    position=position,
+                    building_id=building.id,
+                    range_m=range_m,
+                )
+            )
+            next_id += 1
+    return aps

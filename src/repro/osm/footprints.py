@@ -1,0 +1,135 @@
+"""Compiling building footprints out of an OSM document.
+
+This is the paper's "compiles building footprint data from OSM" step:
+closed building-tagged ways are resolved against the node table,
+projected into the local planar frame, and returned as polygons keyed
+by their OSM way id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry import Polygon, PolygonWithHoles
+from .model import OsmDocument
+from .projection import LocalProjection
+
+MIN_FOOTPRINT_AREA_M2 = 4.0
+RELATION_ID_OFFSET = 1_000_000_000  # keeps relation ids clear of way ids
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """A building footprint extracted from OSM: id, polygon, tags.
+
+    ``polygon`` is a :class:`Polygon` for plain building ways or a
+    :class:`PolygonWithHoles` for multipolygon relations (courtyards).
+    """
+
+    osm_id: int
+    polygon: Polygon | PolygonWithHoles
+    tags: dict[str, str]
+
+
+def buildings_from_document(
+    doc: OsmDocument,
+    projection: LocalProjection | None = None,
+) -> list[Footprint]:
+    """Extract projected building footprints from a parsed document.
+
+    Ways with unresolvable node references or degenerate geometry
+    (fewer than 3 distinct vertices, or area below
+    ``MIN_FOOTPRINT_AREA_M2``) are skipped, matching how OSM consumers
+    treat broken data in the wild.  Building multipolygon relations
+    yield courtyard footprints (one outer ring with hole rings); their
+    ids are offset by ``RELATION_ID_OFFSET`` to keep the id space
+    disjoint from way ids.
+
+    Args:
+        doc: the parsed OSM document.
+        projection: planar projection to use; defaults to one centred
+            on the document's bounding-box centre.
+    """
+    building_ways = doc.building_ways()
+    relations = doc.multipolygon_buildings()
+    if not building_ways and not relations:
+        return []
+    if projection is None:
+        min_lat, min_lon, max_lat, max_lon = doc.bounds()
+        projection = LocalProjection(
+            (min_lat + max_lat) / 2.0, (min_lon + max_lon) / 2.0
+        )
+
+    footprints: list[Footprint] = []
+    for way in building_ways:
+        ring = []
+        resolvable = True
+        for ref in way.node_refs[:-1]:  # drop the closing duplicate
+            node = doc.nodes.get(ref)
+            if node is None:
+                resolvable = False
+                break
+            ring.append(projection.project(node.lat, node.lon))
+        if not resolvable or len(ring) < 3:
+            continue
+        try:
+            polygon = Polygon(ring)
+        except ValueError:
+            continue
+        if polygon.area() < MIN_FOOTPRINT_AREA_M2:
+            continue
+        footprints.append(Footprint(osm_id=way.id, polygon=polygon, tags=dict(way.tags)))
+
+    for relation in relations:
+        shape = _resolve_multipolygon(doc, relation, projection)
+        if shape is None:
+            continue
+        footprints.append(
+            Footprint(
+                osm_id=RELATION_ID_OFFSET + relation.id,
+                polygon=shape,
+                tags=dict(relation.tags),
+            )
+        )
+    return footprints
+
+
+def _ring_from_way(doc: OsmDocument, way_ref: int, projection: LocalProjection) -> Polygon | None:
+    way = doc.way_by_id(way_ref)
+    if way is None or not way.is_closed():
+        return None
+    ring = []
+    for ref in way.node_refs[:-1]:
+        node = doc.nodes.get(ref)
+        if node is None:
+            return None
+        ring.append(projection.project(node.lat, node.lon))
+    if len(ring) < 3:
+        return None
+    try:
+        return Polygon(ring)
+    except ValueError:
+        return None
+
+
+def _resolve_multipolygon(
+    doc: OsmDocument, relation, projection: LocalProjection
+) -> PolygonWithHoles | None:
+    """Resolve a building multipolygon relation into a courtyard shape.
+
+    Only single-outer relations are supported (multi-outer relations
+    are rare for buildings); relations whose rings do not resolve are
+    skipped like broken ways.
+    """
+    outers = relation.outer_way_refs()
+    if len(outers) != 1:
+        return None
+    outer = _ring_from_way(doc, outers[0], projection)
+    if outer is None or outer.area() < MIN_FOOTPRINT_AREA_M2:
+        return None
+    holes = []
+    for ref in relation.inner_way_refs():
+        hole = _ring_from_way(doc, ref, projection)
+        if hole is not None:
+            holes.append(hole)
+    return PolygonWithHoles(outer, holes)

@@ -1,0 +1,121 @@
+"""A minimal OpenStreetMap document model.
+
+Only the elements CityMesh needs: nodes (lat/lon points), ways
+(ordered node references with tags), and the subset of tags that mark
+building footprints.  This is the substrate the paper's simulator
+"compiles building footprint data from OSM" step relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class OsmNode:
+    """An OSM node: an identified WGS-84 coordinate."""
+
+    id: int
+    lat: float
+    lon: float
+
+
+@dataclass(frozen=True)
+class OsmWay:
+    """An OSM way: an ordered list of node ids plus key/value tags."""
+
+    id: int
+    node_refs: tuple[int, ...]
+    tags: dict[str, str] = field(default_factory=dict)
+
+    def is_closed(self) -> bool:
+        """Whether the way forms a ring (first ref == last ref)."""
+        return len(self.node_refs) >= 4 and self.node_refs[0] == self.node_refs[-1]
+
+    def is_building(self) -> bool:
+        """Whether the way is tagged as a building footprint."""
+        value = self.tags.get("building")
+        return value is not None and value != "no"
+
+
+@dataclass(frozen=True)
+class OsmRelationMember:
+    """One member of a relation: (element type, ref, role)."""
+
+    type: str
+    ref: int
+    role: str
+
+
+@dataclass(frozen=True)
+class OsmRelation:
+    """An OSM relation (we consume ``type=multipolygon`` buildings)."""
+
+    id: int
+    members: tuple[OsmRelationMember, ...]
+    tags: dict[str, str] = field(default_factory=dict)
+
+    def is_multipolygon_building(self) -> bool:
+        """Whether this is a building multipolygon relation."""
+        value = self.tags.get("building")
+        return (
+            self.tags.get("type") == "multipolygon"
+            and value is not None
+            and value != "no"
+        )
+
+    def outer_way_refs(self) -> list[int]:
+        """Refs of members with the ``outer`` role."""
+        return [m.ref for m in self.members if m.type == "way" and m.role == "outer"]
+
+    def inner_way_refs(self) -> list[int]:
+        """Refs of members with the ``inner`` role."""
+        return [m.ref for m in self.members if m.type == "way" and m.role == "inner"]
+
+
+@dataclass
+class OsmDocument:
+    """A parsed OSM extract: nodes by id, ways, and relations."""
+
+    nodes: dict[int, OsmNode] = field(default_factory=dict)
+    ways: list[OsmWay] = field(default_factory=list)
+    relations: list[OsmRelation] = field(default_factory=list)
+
+    def add_node(self, node: OsmNode) -> None:
+        """Register a node, replacing any previous node with the same id."""
+        self.nodes[node.id] = node
+
+    def add_way(self, way: OsmWay) -> None:
+        """Append a way to the document."""
+        self.ways.append(way)
+
+    def add_relation(self, relation: OsmRelation) -> None:
+        """Append a relation to the document."""
+        self.relations.append(relation)
+
+    def way_by_id(self, way_id: int) -> OsmWay | None:
+        """Look a way up by id (linear scan; documents are small)."""
+        for way in self.ways:
+            if way.id == way_id:
+                return way
+        return None
+
+    def multipolygon_buildings(self) -> list[OsmRelation]:
+        """All building multipolygon relations, in document order."""
+        return [r for r in self.relations if r.is_multipolygon_building()]
+
+    def building_ways(self) -> list[OsmWay]:
+        """All closed ways tagged as buildings, in document order."""
+        return [w for w in self.ways if w.is_building() and w.is_closed()]
+
+    def bounds(self) -> tuple[float, float, float, float]:
+        """``(min_lat, min_lon, max_lat, max_lon)`` over all nodes.
+
+        Raises:
+            ValueError: for an empty document.
+        """
+        if not self.nodes:
+            raise ValueError("bounds of an empty OSM document are undefined")
+        lats = [n.lat for n in self.nodes.values()]
+        lons = [n.lon for n in self.nodes.values()]
+        return (min(lats), min(lons), max(lats), max(lons))

@@ -1,0 +1,56 @@
+"""Local planar projection between WGS-84 lat/lon and metres.
+
+CityMesh geometry operates in a local planar frame.  At city scale
+(~10 km) an equirectangular projection about a reference latitude is
+accurate to well under a metre, which is far below Wi-Fi range
+uncertainty, so we use it instead of a full geodetic library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..geometry import Point
+
+EARTH_RADIUS_M = 6_371_000.0
+
+
+@dataclass(frozen=True)
+class LocalProjection:
+    """Equirectangular projection centred on ``(ref_lat, ref_lon)``.
+
+    ``project`` maps lat/lon (degrees) to metres east/north of the
+    reference; ``unproject`` inverts it.
+    """
+
+    ref_lat: float
+    ref_lon: float
+
+    def __post_init__(self) -> None:
+        if not -90 <= self.ref_lat <= 90:
+            raise ValueError(f"reference latitude out of range: {self.ref_lat}")
+        if not -180 <= self.ref_lon <= 180:
+            raise ValueError(f"reference longitude out of range: {self.ref_lon}")
+
+    @property
+    def _metres_per_deg_lat(self) -> float:
+        return math.pi * EARTH_RADIUS_M / 180.0
+
+    @property
+    def _metres_per_deg_lon(self) -> float:
+        return self._metres_per_deg_lat * math.cos(math.radians(self.ref_lat))
+
+    def project(self, lat: float, lon: float) -> Point:
+        """Map WGS-84 degrees to local metres (x east, y north)."""
+        return Point(
+            (lon - self.ref_lon) * self._metres_per_deg_lon,
+            (lat - self.ref_lat) * self._metres_per_deg_lat,
+        )
+
+    def unproject(self, p: Point) -> tuple[float, float]:
+        """Map local metres back to ``(lat, lon)`` degrees."""
+        return (
+            self.ref_lat + p.y / self._metres_per_deg_lat,
+            self.ref_lon + p.x / self._metres_per_deg_lon,
+        )

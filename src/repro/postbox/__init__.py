@@ -1,0 +1,42 @@
+"""Postbox messaging: self-certifying names, sealed messages,
+store-and-forward postboxes, and the end-to-end service."""
+
+from .crypto import (
+    KeyPair,
+    PublicKey,
+    encrypt_key,
+    mac_tag,
+    mac_verify,
+    symmetric_decrypt,
+    symmetric_encrypt,
+    verify,
+)
+from .message import MessageFormatError, OpenedMessage, open_message, seal
+from .names import NAME_BYTES, PostboxAddress, name_of, verify_name
+from .service import MessagingService, Participant, SendReport
+from .store import Postbox, PushPreferences, StoredMessage
+
+__all__ = [
+    "KeyPair",
+    "MessageFormatError",
+    "MessagingService",
+    "NAME_BYTES",
+    "OpenedMessage",
+    "Participant",
+    "Postbox",
+    "PostboxAddress",
+    "PublicKey",
+    "PushPreferences",
+    "SendReport",
+    "StoredMessage",
+    "encrypt_key",
+    "mac_tag",
+    "mac_verify",
+    "name_of",
+    "open_message",
+    "seal",
+    "symmetric_decrypt",
+    "symmetric_encrypt",
+    "verify",
+    "verify_name",
+]

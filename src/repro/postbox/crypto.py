@@ -1,0 +1,232 @@
+"""Simulation-grade public-key cryptography, from scratch.
+
+The DFN security agenda (§1) requires message and origin authenticity
+and confidentiality "without the need for real-time access to
+centralized certificate authorities".  This module provides the
+primitives: textbook RSA over Miller-Rabin primes for signatures and
+key transport, plus a SHA-256-based stream cipher and HMAC for the
+payload (a hybrid scheme).
+
+.. warning::
+   This is a *reproduction artefact*, not production cryptography:
+   default keys are 512 bits, padding is full-domain hashing rather
+   than PSS/OAEP, and no side-channel hardening exists.  It is exactly
+   strong enough to make the protocol flows real in simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as hmac_mod
+import random
+from dataclasses import dataclass
+
+_E = 65537
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
+
+
+def _is_probable_prime(n: int, rng: random.Random, rounds: int = 24) -> bool:
+    """Miller-Rabin primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: random.Random) -> int:
+    """A random prime of exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError("prime size too small")
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if candidate % _E == 1:
+            continue  # keep e coprime with p-1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """RSA public key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    def to_bytes(self) -> bytes:
+        """Canonical serialisation (hashed by self-certifying names)."""
+        n_bytes = self.n.to_bytes((self.n.bit_length() + 7) // 8, "big")
+        e_bytes = self.e.to_bytes((self.e.bit_length() + 7) // 8, "big")
+        return (
+            len(n_bytes).to_bytes(2, "big")
+            + n_bytes
+            + len(e_bytes).to_bytes(2, "big")
+            + e_bytes
+        )
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "PublicKey":
+        """Inverse of :meth:`to_bytes`.
+
+        Raises:
+            ValueError: on malformed input.
+        """
+        if len(data) < 4:
+            raise ValueError("truncated public key")
+        n_len = int.from_bytes(data[:2], "big")
+        if len(data) < 2 + n_len + 2:
+            raise ValueError("truncated public key modulus")
+        n = int.from_bytes(data[2 : 2 + n_len], "big")
+        e_off = 2 + n_len
+        e_len = int.from_bytes(data[e_off : e_off + 2], "big")
+        if len(data) != e_off + 2 + e_len:
+            raise ValueError("truncated public key exponent")
+        e = int.from_bytes(data[e_off + 2 :], "big")
+        return PublicKey(n=n, e=e)
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """An RSA keypair."""
+
+    public: PublicKey
+    _d: int
+
+    @staticmethod
+    def generate(rng: random.Random, bits: int = 512) -> "KeyPair":
+        """Generate a keypair (default 512-bit modulus: simulation grade).
+
+        Raises:
+            ValueError: for moduli under 128 bits (the hybrid transport
+                needs room for a 256-bit session key… so practically
+                ``bits >= 288``; 128 is the hard floor for signatures).
+        """
+        if bits < 128:
+            raise ValueError("modulus too small even for simulation")
+        while True:
+            p = _random_prime(bits // 2, rng)
+            q = _random_prime(bits - bits // 2, rng)
+            if p == q:
+                continue
+            n = p * q
+            phi = (p - 1) * (q - 1)
+            try:
+                d = pow(_E, -1, phi)
+            except ValueError:
+                continue
+            return KeyPair(public=PublicKey(n=n, e=_E), _d=d)
+
+    # ------------------------------------------------------------------
+    # Signatures (full-domain hash)
+    # ------------------------------------------------------------------
+    def sign(self, message: bytes) -> bytes:
+        """Sign ``message`` (hash-then-RSA)."""
+        h = _fdh(message, self.public.n)
+        sig = pow(h, self._d, self.public.n)
+        return sig.to_bytes((self.public.n.bit_length() + 7) // 8, "big")
+
+    def decrypt_key(self, wrapped: bytes) -> bytes:
+        """Unwrap a session key wrapped with :func:`encrypt_key`.
+
+        Raises:
+            ValueError: on a malformed wrap.
+        """
+        c = int.from_bytes(wrapped, "big")
+        if c >= self.public.n:
+            raise ValueError("wrapped key out of range")
+        m = pow(c, self._d, self.public.n)
+        raw = m.to_bytes((self.public.n.bit_length() + 7) // 8, "big")
+        if not raw.endswith(b"\x01"):
+            raise ValueError("bad session-key padding")
+        return raw[-33:-1]
+
+
+def verify(public: PublicKey, message: bytes, signature: bytes) -> bool:
+    """Verify a signature produced by :meth:`KeyPair.sign`."""
+    if len(signature) != (public.n.bit_length() + 7) // 8:
+        return False
+    sig = int.from_bytes(signature, "big")
+    if sig >= public.n:
+        return False
+    return pow(sig, public.e, public.n) == _fdh(message, public.n)
+
+
+def encrypt_key(public: PublicKey, session_key: bytes, rng: random.Random) -> bytes:
+    """Wrap a 32-byte session key under an RSA public key.
+
+    Layout of the plaintext integer: random padding ∥ key ∥ 0x01, kept
+    strictly below the modulus.
+
+    Raises:
+        ValueError: for session keys that are not 32 bytes.
+    """
+    if len(session_key) != 32:
+        raise ValueError("session keys are 32 bytes")
+    n_bytes = (public.n.bit_length() + 7) // 8
+    pad_len = n_bytes - 32 - 1 - 1  # leading zero + key + 0x01
+    if pad_len < 0:
+        raise ValueError("modulus too small for key transport")
+    padding = bytes(rng.getrandbits(8) for _ in range(pad_len))
+    plain = b"\x00" + padding + session_key + b"\x01"
+    m = int.from_bytes(plain, "big")
+    c = pow(m, public.e, public.n)
+    return c.to_bytes(n_bytes, "big")
+
+
+def _fdh(message: bytes, n: int) -> int:
+    """Full-domain hash of ``message`` into Z_n."""
+    out = b""
+    counter = 0
+    target_len = (n.bit_length() + 7) // 8
+    while len(out) < target_len:
+        out += hashlib.sha256(message + counter.to_bytes(4, "big")).digest()
+        counter += 1
+    return int.from_bytes(out[:target_len], "big") % n
+
+
+# ----------------------------------------------------------------------
+# Symmetric layer: SHA-256 counter-mode stream + HMAC tag
+# ----------------------------------------------------------------------
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out += hashlib.sha256(key + nonce + counter.to_bytes(8, "big")).digest()
+        counter += 1
+    return bytes(out[:length])
+
+
+def symmetric_encrypt(key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
+    """Stream-encrypt ``plaintext`` (XOR with a SHA-256 keystream)."""
+    stream = _keystream(key, nonce, len(plaintext))
+    return bytes(a ^ b for a, b in zip(plaintext, stream))
+
+
+symmetric_decrypt = symmetric_encrypt  # XOR stream ciphers are involutions
+
+
+def mac_tag(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA256 authentication tag."""
+    return hmac_mod.new(key, data, hashlib.sha256).digest()
+
+
+def mac_verify(key: bytes, data: bytes, tag: bytes) -> bool:
+    """Constant-time comparison of an HMAC tag."""
+    return hmac_mod.compare_digest(mac_tag(key, data), tag)

@@ -1,0 +1,75 @@
+"""Self-certifying names (§1's security element, after SFS [42]).
+
+An identity's name is the hash of its public key, exchanged out of
+band (the paper suggests a QR code).  Anyone holding the public key
+can verify it matches the name with no certificate authority in the
+loop — which is the property a fallback network needs when the CA
+infrastructure is unreachable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from .crypto import PublicKey
+
+NAME_BYTES = 16  # 128-bit names, ample for collision resistance here
+
+
+def name_of(public_key: PublicKey) -> str:
+    """The self-certifying name of a public key (hex string)."""
+    digest = hashlib.sha256(public_key.to_bytes()).digest()
+    return digest[:NAME_BYTES].hex()
+
+
+def verify_name(public_key: PublicKey, name: str) -> bool:
+    """Whether ``name`` is genuinely the hash of ``public_key``."""
+    return name_of(public_key) == name
+
+
+@dataclass(frozen=True)
+class PostboxAddress:
+    """What Bob hands Alice out of band (§3 step 1): his
+    self-certifying name, his public key, and the building id of his
+    postbox AP.  Small enough for a QR code."""
+
+    name: str
+    public_key: PublicKey
+    building_id: int
+
+    def __post_init__(self) -> None:
+        if not verify_name(self.public_key, self.name):
+            raise ValueError("address name does not match the public key")
+
+    @staticmethod
+    def for_key(public_key: PublicKey, building_id: int) -> "PostboxAddress":
+        """Build an address, deriving the name from the key."""
+        return PostboxAddress(
+            name=name_of(public_key), public_key=public_key, building_id=building_id
+        )
+
+    def to_bytes(self) -> bytes:
+        """Compact serialisation (the QR-code payload)."""
+        key = self.public_key.to_bytes()
+        return (
+            self.building_id.to_bytes(8, "big")
+            + len(key).to_bytes(2, "big")
+            + key
+        )
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "PostboxAddress":
+        """Parse a serialised address, re-deriving and checking the name.
+
+        Raises:
+            ValueError: on malformed input.
+        """
+        if len(data) < 10:
+            raise ValueError("truncated postbox address")
+        building_id = int.from_bytes(data[:8], "big")
+        key_len = int.from_bytes(data[8:10], "big")
+        if len(data) != 10 + key_len:
+            raise ValueError("truncated postbox address key")
+        public_key = PublicKey.from_bytes(data[10:])
+        return PostboxAddress.for_key(public_key, building_id)

@@ -1,0 +1,174 @@
+"""End-to-end messaging over CityMesh: the full §3 workflow.
+
+``MessagingService`` wires the four steps together on top of a
+simulated mesh: (1) out-of-band postbox addresses, (2) seal + plan +
+encode, (3) conduit broadcast through the AP mesh, (4) postbox storage
+and owner retrieval.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..buildgraph import NoRouteError
+from ..city import City
+from ..core import BuildingRouter
+from ..geometry import Point
+from ..mesh import APGraph
+from ..sim import BroadcastResult, ConduitPolicy, simulate_broadcast
+from .crypto import KeyPair
+from .message import OpenedMessage, open_message
+from .message import seal as seal_message
+from .names import PostboxAddress
+from .store import Postbox
+
+
+@dataclass
+class Participant:
+    """One user of the fallback network (e.g. Alice or Bob)."""
+
+    keypair: KeyPair
+    address: PostboxAddress
+    postbox: Postbox
+
+    @staticmethod
+    def create(building_id: int, rng: random.Random, key_bits: int = 512) -> "Participant":
+        """Generate keys and a postbox for a user homed in a building."""
+        keypair = KeyPair.generate(rng, bits=key_bits)
+        address = PostboxAddress.for_key(keypair.public, building_id)
+        return Participant(
+            keypair=keypair,
+            address=address,
+            postbox=Postbox(owner_name=address.name),
+        )
+
+
+@dataclass(frozen=True)
+class SendReport:
+    """What happened to one message."""
+
+    delivered: bool
+    transmissions: int
+    delivery_time_s: float | None
+    route_bits: int | None
+
+
+@dataclass
+class MessagingService:
+    """The CityMesh network from the application's point of view."""
+
+    city: City
+    graph: APGraph
+    router: BuildingRouter
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    def send(
+        self,
+        sender: Participant,
+        recipient: PostboxAddress,
+        recipient_postbox: Postbox,
+        plaintext: bytes,
+        urgent: bool = False,
+    ) -> SendReport:
+        """Seal, route, and broadcast one message (§3 steps 2-4).
+
+        The sender injects from an AP of their own building; delivery
+        places the sealed bytes into the recipient's postbox.
+        """
+        sealed = seal_message(sender.keypair, recipient, plaintext, self.rng)
+        src_aps = self.graph.aps_in_building(sender.address.building_id)
+        if not src_aps:
+            return SendReport(False, 0, None, None)
+        try:
+            plan = self.router.plan(
+                sender.address.building_id, recipient.building_id
+            )
+        except (NoRouteError, KeyError):
+            return SendReport(False, 0, None, None)
+        policy = ConduitPolicy(plan.conduits, self.city)
+        result: BroadcastResult = simulate_broadcast(
+            self.graph,
+            src_aps[0],
+            recipient.building_id,
+            policy,
+            self.rng,
+        )
+        if result.delivered:
+            recipient_postbox.deliver(
+                sealed, now_s=result.delivery_time_s or 0.0, urgent=urgent
+            )
+        return SendReport(
+            delivered=result.delivered,
+            transmissions=result.transmissions,
+            delivery_time_s=result.delivery_time_s,
+            route_bits=plan.route_bits,
+        )
+
+    def deliver_pushes(self, participant: Participant) -> list[SendReport]:
+        """Forward pushed messages towards the owner's cached location.
+
+        §3 step 4: "the postbox may also implement push notifications
+        for the immediate forwarding of urgent messages … Bob's postbox
+        caches location updates from his device."  Each pending push is
+        routed from the postbox's building to the building nearest the
+        cached location as an ordinary CityMesh unicast.  Pushes are
+        consumed regardless of delivery (the message itself stays safe
+        in the postbox until the owner checks in).
+        """
+        postbox = participant.postbox
+        pushes = list(postbox.pushed)
+        postbox.pushed.clear()
+        if not pushes:
+            return []
+        location = postbox.last_known_location
+        if location is None:
+            return []
+        target = self.city.nearest_building(location)
+        if target is None:
+            return []
+        home = participant.address.building_id
+        src_aps = self.graph.aps_in_building(home)
+        reports: list[SendReport] = []
+        for _push in pushes:
+            if target.id == home:
+                reports.append(SendReport(True, 0, 0.0, None))
+                continue
+            if not src_aps:
+                reports.append(SendReport(False, 0, None, None))
+                continue
+            try:
+                plan = self.router.plan(home, target.id)
+            except (NoRouteError, KeyError):
+                reports.append(SendReport(False, 0, None, None))
+                continue
+            policy = ConduitPolicy(plan.conduits, self.city)
+            result = simulate_broadcast(
+                self.graph, src_aps[0], target.id, policy, self.rng
+            )
+            reports.append(
+                SendReport(
+                    delivered=result.delivered,
+                    transmissions=result.transmissions,
+                    delivery_time_s=result.delivery_time_s,
+                    route_bits=plan.route_bits,
+                )
+            )
+        return reports
+
+    @staticmethod
+    def retrieve(
+        participant: Participant, now_s: float, location: Point
+    ) -> list[OpenedMessage]:
+        """Owner-side retrieval: fetch, verify, and decrypt (§3 step 4).
+
+        Messages that fail verification are dropped silently (a real
+        client would log them); only authentic plaintexts are returned.
+        """
+        opened = []
+        for stored in participant.postbox.check(now_s, location):
+            try:
+                opened.append(open_message(participant.keypair, stored.sealed))
+            except ValueError:
+                continue
+        return opened

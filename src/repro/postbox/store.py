@@ -1,0 +1,101 @@
+"""The postbox: store-and-forward message storage at the destination AP.
+
+§3 step 4: the postbox "acts as a reliable intermediary for message
+storage and forwarding and also handles message integrity checks and
+decryption", supports periodic retrieval, and can push urgent messages
+using cached location updates from the owner's device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..geometry import Point
+
+
+@dataclass(frozen=True)
+class StoredMessage:
+    """One sealed message awaiting retrieval."""
+
+    sealed: bytes
+    arrival_time_s: float
+    urgent: bool = False
+
+
+@dataclass
+class PushPreferences:
+    """Owner-defined push behaviour (§3 step 4)."""
+
+    push_urgent: bool = True
+    push_all: bool = False
+
+    def wants_push(self, message: StoredMessage) -> bool:
+        """Whether this message should be pushed immediately."""
+        return self.push_all or (self.push_urgent and message.urgent)
+
+
+@dataclass
+class Postbox:
+    """Message storage for one owner at their postbox AP.
+
+    The postbox never holds keys: it stores sealed bytes and leaves
+    integrity checking and decryption to the owner's device (which is
+    what makes a compromised postbox AP a nuisance rather than a
+    confidentiality breach).
+    """
+
+    owner_name: str
+    capacity: int = 1024
+    retention_s: float = 7 * 24 * 3600.0
+    _messages: list[StoredMessage] = field(default_factory=list)
+    _last_known_location: Point | None = None
+    _last_check_time_s: float = 0.0
+    preferences: PushPreferences = field(default_factory=PushPreferences)
+    pushed: list[StoredMessage] = field(default_factory=list)
+
+    def deliver(self, sealed: bytes, now_s: float, urgent: bool = False) -> bool:
+        """Accept a sealed message (False when the box is full).
+
+        Urgent messages trigger a push record when the preferences
+        allow it and the owner has checked in at least once (so a
+        location is cached to push towards).
+        """
+        self.expire(now_s)
+        if len(self._messages) >= self.capacity:
+            return False
+        message = StoredMessage(sealed=sealed, arrival_time_s=now_s, urgent=urgent)
+        self._messages.append(message)
+        if self._last_known_location is not None and self.preferences.wants_push(message):
+            self.pushed.append(message)
+        return True
+
+    def check(self, now_s: float, location: Point) -> list[StoredMessage]:
+        """Owner retrieval (§3 step 4): returns and clears pending
+        messages, caching the device's location for future pushes."""
+        self.expire(now_s)
+        self._last_known_location = location
+        self._last_check_time_s = now_s
+        pending = self._messages
+        self._messages = []
+        return pending
+
+    def pending_count(self) -> int:
+        """Messages currently waiting."""
+        return len(self._messages)
+
+    def expire(self, now_s: float) -> int:
+        """Drop messages older than the retention window.
+
+        Returns:
+            The number of messages dropped.
+        """
+        before = len(self._messages)
+        self._messages = [
+            m for m in self._messages if now_s - m.arrival_time_s <= self.retention_s
+        ]
+        return before - len(self._messages)
+
+    @property
+    def last_known_location(self) -> Point | None:
+        """The owner's most recently cached location, if any."""
+        return self._last_known_location

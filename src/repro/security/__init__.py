@@ -1,0 +1,20 @@
+"""Compromised-node models and resilient-routing mitigations."""
+
+from .compromise import (
+    honest_path_exists,
+    random_compromise,
+    region_around,
+    region_compromise,
+    targeted_compromise,
+)
+from .resilient import ResilientReport, resilient_send
+
+__all__ = [
+    "ResilientReport",
+    "honest_path_exists",
+    "random_compromise",
+    "region_around",
+    "region_compromise",
+    "resilient_send",
+    "targeted_compromise",
+]

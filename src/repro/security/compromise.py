@@ -1,0 +1,112 @@
+"""Compromised-node models (§1's security element).
+
+Under cyberattack "some fraction of the nodes will be compromised";
+the baseline adversary here is a *blackhole*: a compromised AP keeps
+receiving packets but never rebroadcasts, silently eroding conduit
+connectivity.  Three selection models are provided — random fraction,
+geographic region (a compromised neighbourhood), and targeted cut
+(the adversary compromises the busiest relay buildings).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..geometry import Point, Polygon
+from ..mesh import APGraph
+
+
+def random_compromise(
+    graph: APGraph, fraction: float, rng: random.Random
+) -> frozenset[int]:
+    """Compromise a uniformly random fraction of all APs.
+
+    Raises:
+        ValueError: for fractions outside [0, 1].
+    """
+    if not 0 <= fraction <= 1:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    count = round(fraction * len(graph.aps))
+    return frozenset(rng.sample(range(len(graph.aps)), count))
+
+
+def region_compromise(graph: APGraph, region: Polygon) -> frozenset[int]:
+    """Compromise every AP inside a geographic region."""
+    return frozenset(
+        ap.id for ap in graph.aps if region.contains(ap.position)
+    )
+
+
+def targeted_compromise(
+    graph: APGraph,
+    count: int,
+    sample_pairs: list[tuple[int, int]],
+) -> frozenset[int]:
+    """Compromise the APs that appear on the most shortest paths.
+
+    A strong adversary with topology knowledge: for each sampled
+    (source AP, destination building) pair, walk the true shortest
+    path and count visits; the ``count`` most-visited APs are taken.
+
+    Raises:
+        ValueError: for a negative count.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    visits: dict[int, int] = {}
+    for src, dst_building in sample_pairs:
+        dst_aps = graph.aps_in_building(dst_building)
+        if not dst_aps:
+            continue
+        path = graph.shortest_path(src, dst_aps[0])
+        if path is None:
+            continue
+        for ap_id in path[1:-1]:
+            visits[ap_id] = visits.get(ap_id, 0) + 1
+    busiest = sorted(visits, key=lambda k: visits[k], reverse=True)
+    return frozenset(busiest[:count])
+
+
+def honest_path_exists(
+    graph: APGraph,
+    source_ap: int,
+    dest_building: int,
+    compromised: frozenset[int],
+) -> bool:
+    """Whether an uncompromised AP path exists (§1's success criterion).
+
+    "A successful routing protocol for a DFN should find a path
+    between two nodes wishing to communicate if there exists a path
+    that does not traverse a compromised node."  This oracle decides
+    the *if*: BFS over the subgraph of honest APs.
+    """
+    if source_ap in compromised:
+        return False
+    targets = {
+        ap for ap in graph.aps_in_building(dest_building) if ap not in compromised
+    }
+    if not targets:
+        return False
+    if source_ap in targets:
+        return True
+    from collections import deque
+
+    seen = {source_ap}
+    queue = deque([source_ap])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v in compromised or v in seen:
+                continue
+            if v in targets:
+                return True
+            seen.add(v)
+            queue.append(v)
+    return False
+
+
+def region_around(center: Point, radius: float) -> Polygon:
+    """A square compromise region centred on a point (convenience)."""
+    return Polygon.rectangle(
+        center.x - radius, center.y - radius, center.x + radius, center.y + radius
+    )

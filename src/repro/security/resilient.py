@@ -1,0 +1,124 @@
+"""Resilient sending: route diversification against blackholes.
+
+CityMesh nodes cannot know which APs are compromised, but the sender
+*can* notice a missing acknowledgement and retry differently.  This
+module implements the natural end-to-end mitigation: retransmit with
+(a) a wider conduit, which enrols more honest buildings around the
+blackholes, and (b) a perturbed building route, which steers the
+conduit through different streets entirely.
+
+This is an extension beyond the paper's preliminary evaluation; the
+paper poses the question (§1, Security) and we quantify one answer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..buildgraph import BuildingGraph, NoRouteError, plan_building_route
+from ..city import City
+from ..core import BuildingRouter
+from ..core.compression import compress_route, conduits_for_waypoints
+from ..mesh import APGraph
+from ..sim import ConduitPolicy, simulate_broadcast
+
+
+@dataclass(frozen=True)
+class ResilientReport:
+    """Outcome of a resilient send."""
+
+    delivered: bool
+    attempts: int
+    total_transmissions: int
+    final_width: float | None
+
+
+class _DetourGraph:
+    """A view of a building graph with some buildings penalised.
+
+    Multiplying previously used relay buildings' edge weights pushes
+    Dijkstra onto geographically different streets on the retry.
+    """
+
+    def __init__(self, base: BuildingGraph, penalised: set[int], factor: float = 8.0):
+        self._base = base
+        self._penalised = penalised
+        self._factor = factor
+
+    def __contains__(self, building_id: int) -> bool:
+        return building_id in self._base
+
+    def neighbors(self, building_id: int) -> dict[int, float]:
+        out = {}
+        for n, w in self._base.neighbors(building_id).items():
+            if n in self._penalised or building_id in self._penalised:
+                out[n] = w * self._factor
+            else:
+                out[n] = w
+        return out
+
+    def centroid(self, building_id: int):
+        return self._base.centroid(building_id)
+
+
+def resilient_send(
+    city: City,
+    graph: APGraph,
+    router: BuildingRouter,
+    source_ap: int,
+    dest_building: int,
+    rng: random.Random,
+    compromised: frozenset[int],
+    max_attempts: int = 3,
+    width_growth: float = 1.6,
+) -> ResilientReport:
+    """Send with retries: widen the conduit and detour on each failure.
+
+    Args:
+        city: shared map.
+        graph: ground-truth AP mesh.
+        router: the sender's router (its conduit width seeds attempt 1).
+        source_ap: injecting AP.
+        dest_building: destination postbox building.
+        rng: jitter and retry randomness.
+        compromised: blackhole APs (unknown to the sender).
+        max_attempts: total transmission attempts.
+        width_growth: conduit width multiplier per retry.
+
+    Raises:
+        ValueError: for non-positive attempts or growth below 1.
+    """
+    if max_attempts < 1:
+        raise ValueError("need at least one attempt")
+    if width_growth < 1.0:
+        raise ValueError("width growth must be >= 1")
+    src_building = graph.aps[source_ap].building_id
+    total_tx = 0
+    width = router.conduit_width
+    used_relays: set[int] = set()
+    for attempt in range(1, max_attempts + 1):
+        plan_graph = (
+            router.graph
+            if not used_relays
+            else _DetourGraph(router.graph, used_relays)
+        )
+        try:
+            route = plan_building_route(plan_graph, src_building, dest_building)  # type: ignore[arg-type]
+        except (NoRouteError, KeyError):
+            return ResilientReport(False, attempt, total_tx, None)
+        centroids = [router.graph.centroid(b) for b in route]
+        compressed = compress_route(centroids, width=width)
+        conduits = conduits_for_waypoints(
+            [centroids[i] for i in compressed.waypoints], width
+        )
+        policy = ConduitPolicy(conduits, city)
+        result = simulate_broadcast(
+            graph, source_ap, dest_building, policy, rng, compromised=compromised
+        )
+        total_tx += result.transmissions
+        if result.delivered:
+            return ResilientReport(True, attempt, total_tx, width)
+        used_relays.update(route[1:-1])
+        width *= width_growth
+    return ResilientReport(False, max_attempts, total_tx, None)

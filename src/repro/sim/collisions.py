@@ -1,0 +1,134 @@
+"""Collision-aware broadcast simulation (higher-fidelity MAC model).
+
+The paper's simulator (and :func:`repro.sim.broadcast.simulate_broadcast`)
+treats every in-range reception as successful; §6 lists wireless channel
+congestion among the effects a higher-fidelity simulation should add.
+This module adds the first-order version: transmissions occupy the air
+for a frame time, and a receiver decodes a frame **iff no other
+transmission it can hear (including its own) overlaps the frame** — the
+classic collision model without capture.
+
+Rebroadcast jitter is what keeps a broadcast protocol alive under this
+model; the jitter ablation bench quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..mesh import APGraph
+from .broadcast import RebroadcastPolicy, SimParams
+from .engine import Environment
+from .radio import DEFAULT_TX_DELAY_S
+
+
+@dataclass
+class CollisionResult:
+    """Outcome of one collision-aware broadcast."""
+
+    delivered: bool
+    delivery_time_s: float | None
+    transmissions: int
+    receptions: int
+    collisions: int
+    heard: set[int] = field(default_factory=set)
+    transmitters: set[int] = field(default_factory=set)
+
+    @property
+    def collision_rate(self) -> float:
+        """Fraction of frame arrivals destroyed by collisions."""
+        total = self.receptions + self.collisions
+        return self.collisions / total if total else 0.0
+
+
+def simulate_broadcast_with_collisions(
+    graph: APGraph,
+    source_ap: int,
+    dest_building: int,
+    policy: RebroadcastPolicy,
+    rng: random.Random,
+    frame_time_s: float = DEFAULT_TX_DELAY_S,
+    params: SimParams | None = None,
+    compromised: frozenset[int] = frozenset(),
+) -> CollisionResult:
+    """Simulate one broadcast under the overlap-collision MAC model.
+
+    Semantics match :func:`simulate_broadcast` except that a frame from
+    ``u`` arriving at ``v`` is lost when any other transmission audible
+    at ``v`` — a neighbour's, or ``v``'s own (half-duplex) — overlaps
+    the frame's air time.
+
+    Raises:
+        ValueError: for a non-positive frame time.
+    """
+    if frame_time_s <= 0:
+        raise ValueError("frame time must be positive")
+    if params is None:
+        params = SimParams()
+    env = Environment()
+    aps = graph.aps
+    seen: set[int] = set()
+    # Air-time log per transmitter: (start, end) intervals.  Event
+    # ordering guarantees that when a frame *ends* at time t, every
+    # transmission starting at or before t is already logged.
+    tx_log: dict[int, list[tuple[float, float]]] = {}
+    result = CollisionResult(
+        delivered=False,
+        delivery_time_s=None,
+        transmissions=0,
+        receptions=0,
+        collisions=0,
+    )
+
+    def overlaps(intervals: list[tuple[float, float]], start: float, end: float) -> bool:
+        return any(s < end and e > start for s, e in intervals)
+
+    def transmit(u: int) -> None:
+        start = env.now
+        end = start + frame_time_s
+        tx_log.setdefault(u, []).append((start, end))
+        result.transmissions += 1
+        result.transmitters.add(u)
+        for v in graph.neighbors(u):
+            ev = env.timeout(frame_time_s)
+            ev.callbacks.append(
+                lambda _e, rx=v, tx=u, s=start, t=end: receive(rx, tx, s, t)
+            )
+
+    def receive(v: int, u: int, start: float, end: float) -> None:
+        # Half-duplex: v cannot decode while itself transmitting.
+        if overlaps(tx_log.get(v, []), start, end):
+            result.collisions += 1
+            return
+        # Any other audible transmission overlapping the frame kills it.
+        for w in graph.neighbors(v):
+            if w == u:
+                continue
+            if overlaps(tx_log.get(w, []), start, end):
+                result.collisions += 1
+                return
+        result.receptions += 1
+        if v in seen:
+            return
+        seen.add(v)
+        result.heard.add(v)
+        ap = aps[v]
+        if ap.building_id == dest_building and not result.delivered:
+            result.delivered = True
+            result.delivery_time_s = env.now
+        if v in compromised:
+            return
+        if policy.should_rebroadcast(ap):
+            delay = rng.uniform(0.0, params.jitter_s) if params.jitter_s > 0 else 0.0
+            ev = env.timeout(delay)
+            ev.callbacks.append(lambda _e, tx=v: transmit(tx))
+
+    seen.add(source_ap)
+    result.heard.add(source_ap)
+    if aps[source_ap].building_id == dest_building:
+        result.delivered = True
+        result.delivery_time_s = 0.0
+    transmit(source_ap)
+    env.run(until=params.max_sim_time_s)
+    return result

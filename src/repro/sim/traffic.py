@@ -1,0 +1,231 @@
+"""Multi-message traffic simulation: what load can a DFN carry?
+
+The paper argues low-bandwidth applications suffice in disasters; the
+natural follow-up is how many concurrent messages the mesh sustains.
+This simulator runs *many* packets through the shared air under the
+overlap-collision MAC: transmissions of different messages interfere,
+so delivery rate degrades as offered load grows — the capacity curve.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left, insort
+from dataclasses import dataclass, field
+
+from ..mesh import APGraph
+from .broadcast import RebroadcastPolicy, SimParams
+from .engine import Environment
+from .radio import DEFAULT_TX_DELAY_S
+
+
+@dataclass(frozen=True)
+class TrafficMessage:
+    """One offered message."""
+
+    msg_id: int
+    start_s: float
+    source_ap: int
+    dest_building: int
+    policy: RebroadcastPolicy
+
+
+@dataclass
+class MessageOutcome:
+    """Per-message delivery record."""
+
+    msg_id: int
+    delivered: bool = False
+    delivery_time_s: float | None = None
+    transmissions: int = 0
+
+
+@dataclass
+class TrafficResult:
+    """Aggregate outcome of a traffic run."""
+
+    outcomes: dict[int, MessageOutcome] = field(default_factory=dict)
+    total_transmissions: int = 0
+    total_collisions: int = 0
+    total_receptions: int = 0
+
+    @property
+    def offered(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def delivered(self) -> int:
+        return sum(1 for o in self.outcomes.values() if o.delivered)
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / self.offered if self.offered else 0.0
+
+    @property
+    def collision_rate(self) -> float:
+        total = self.total_receptions + self.total_collisions
+        return self.total_collisions / total if total else 0.0
+
+
+class _AirLog:
+    """Per-AP transmission intervals, kept sorted for overlap checks."""
+
+    def __init__(self) -> None:
+        self._intervals: dict[int, list[tuple[float, float]]] = {}
+
+    def add(self, ap_id: int, start: float, end: float) -> None:
+        insort(self._intervals.setdefault(ap_id, []), (start, end))
+
+    def overlaps(self, ap_id: int, start: float, end: float, skip: tuple[float, float] | None = None) -> bool:
+        intervals = self._intervals.get(ap_id)
+        if not intervals:
+            return False
+        # Find the first interval whose start could matter.
+        i = bisect_left(intervals, (start, float("-inf")))
+        # Check the neighbour on the left too (it may span into us).
+        if i > 0:
+            i -= 1
+        for s, e in intervals[i:]:
+            if s >= end:
+                break
+            if e > start and (s, e) != skip:
+                return True
+        return False
+
+
+def simulate_traffic(
+    graph: APGraph,
+    messages: list[TrafficMessage],
+    rng: random.Random,
+    frame_time_s: float = DEFAULT_TX_DELAY_S,
+    params: SimParams | None = None,
+) -> TrafficResult:
+    """Run many messages through the shared collision channel.
+
+    Semantics: each message behaves like
+    :func:`simulate_broadcast_with_collisions`, but all messages share
+    the air — a frame is lost when *any* other transmission (of any
+    message) audible at the receiver overlaps it.
+
+    Raises:
+        ValueError: for a non-positive frame time or unsorted ids.
+    """
+    if frame_time_s <= 0:
+        raise ValueError("frame time must be positive")
+    if params is None:
+        params = SimParams()
+    env = Environment()
+    air = _AirLog()
+    seen: set[tuple[int, int]] = set()  # (msg_id, ap_id)
+    result = TrafficResult()
+    for message in messages:
+        if message.msg_id in result.outcomes:
+            raise ValueError(f"duplicate message id {message.msg_id}")
+        result.outcomes[message.msg_id] = MessageOutcome(msg_id=message.msg_id)
+
+    by_id = {m.msg_id: m for m in messages}
+
+    def transmit(ap_id: int, msg_id: int) -> None:
+        start = env.now
+        end = start + frame_time_s
+        air.add(ap_id, start, end)
+        outcome = result.outcomes[msg_id]
+        outcome.transmissions += 1
+        result.total_transmissions += 1
+        for v in graph.neighbors(ap_id):
+            ev = env.timeout(frame_time_s)
+            ev.callbacks.append(
+                lambda _e, rx=v, tx=ap_id, m=msg_id, s=start, t=end: receive(rx, tx, m, s, t)
+            )
+
+    def receive(v: int, u: int, msg_id: int, start: float, end: float) -> None:
+        # Half-duplex + interference from any message's transmissions.
+        if air.overlaps(v, start, end):
+            result.total_collisions += 1
+            return
+        for w in graph.neighbors(v):
+            skip = (start, end) if w == u else None
+            if air.overlaps(w, start, end, skip=skip):
+                result.total_collisions += 1
+                return
+        result.total_receptions += 1
+        if (msg_id, v) in seen:
+            return
+        seen.add((msg_id, v))
+        message = by_id[msg_id]
+        outcome = result.outcomes[msg_id]
+        ap = graph.aps[v]
+        if ap.building_id == message.dest_building and not outcome.delivered:
+            outcome.delivered = True
+            outcome.delivery_time_s = env.now - message.start_s
+        if message.policy.should_rebroadcast(ap):
+            delay = rng.uniform(0.0, params.jitter_s) if params.jitter_s > 0 else 0.0
+            ev = env.timeout(delay)
+            ev.callbacks.append(lambda _e, tx=v, m=msg_id: transmit(tx, m))
+
+    def inject(message: TrafficMessage) -> None:
+        seen.add((message.msg_id, message.source_ap))
+        outcome = result.outcomes[message.msg_id]
+        if graph.aps[message.source_ap].building_id == message.dest_building:
+            outcome.delivered = True
+            outcome.delivery_time_s = 0.0
+        transmit(message.source_ap, message.msg_id)
+
+    for message in messages:
+        ev = env.timeout(message.start_s)
+        ev.callbacks.append(lambda _e, m=message: inject(m))
+    env.run(until=params.max_sim_time_s)
+    return result
+
+
+def poisson_workload(
+    graph: APGraph,
+    building_ids: list[int],
+    rate_per_s: float,
+    duration_s: float,
+    make_policy,
+    rng: random.Random,
+) -> list[TrafficMessage]:
+    """A Poisson arrival workload between random building pairs.
+
+    Args:
+        graph: the mesh (sources are drawn from its AP-bearing buildings).
+        building_ids: candidate endpoint buildings.
+        rate_per_s: mean message arrivals per second.
+        duration_s: workload horizon.
+        make_policy: callable ``(src_building, dst_building) -> policy``
+            (returns None to skip unroutable pairs).
+        rng: randomness for arrivals and pair choice.
+
+    Raises:
+        ValueError: for non-positive rate/duration or too few buildings.
+    """
+    if rate_per_s <= 0 or duration_s <= 0:
+        raise ValueError("rate and duration must be positive")
+    if len(building_ids) < 2:
+        raise ValueError("need at least two candidate buildings")
+    messages: list[TrafficMessage] = []
+    t = 0.0
+    msg_id = 0
+    while True:
+        t += rng.expovariate(rate_per_s)
+        if t >= duration_s:
+            break
+        src, dst = rng.sample(building_ids, 2)
+        src_aps = graph.aps_in_building(src)
+        if not src_aps:
+            continue
+        policy = make_policy(src, dst)
+        if policy is None:
+            continue
+        messages.append(
+            TrafficMessage(
+                msg_id=msg_id,
+                start_s=t,
+                source_ap=src_aps[0],
+                dest_building=dst,
+                policy=policy,
+            )
+        )
+        msg_id += 1
+    return messages

@@ -1,0 +1,18 @@
+"""Text-art map rendering (Figures 5 and 7) and the raster canvas."""
+
+from .plot import ascii_bar_chart, ascii_line_chart, cdf_chart
+from .raster import AsciiCanvas
+from .render import LEGEND_CITY, LEGEND_MESH, LEGEND_SIM, render_city, render_mesh, render_simulation
+
+__all__ = [
+    "AsciiCanvas",
+    "ascii_bar_chart",
+    "ascii_line_chart",
+    "cdf_chart",
+    "LEGEND_CITY",
+    "LEGEND_MESH",
+    "LEGEND_SIM",
+    "render_city",
+    "render_mesh",
+    "render_simulation",
+]

@@ -1,0 +1,100 @@
+"""Terminal plots: ASCII line charts and bar charts.
+
+matplotlib is unavailable offline, so the figure CLIs can render their
+series directly in the terminal: CDFs as staircase line charts
+(Figure 1), per-city bars (Figure 6), and whisker strips (Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_line_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot one or more (x, y) series as an ASCII chart.
+
+    Each series gets a distinct marker; a legend line maps markers to
+    series names.  Axes are linear and shared across series.
+
+    Raises:
+        ValueError: for empty input or degenerate dimensions.
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ValueError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ValueError("chart too small")
+    markers = "*o+x#@%&"
+    all_points = [p for pts in series.values() for p in pts]
+    min_x = min(p[0] for p in all_points)
+    max_x = max(p[0] for p in all_points)
+    min_y = min(p[1] for p in all_points)
+    max_y = max(p[1] for p in all_points)
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for marker, (name, points) in zip(markers, series.items()):
+        legend.append(f"{marker} {name}")
+        for x, y in points:
+            col = int((x - min_x) / span_x * (width - 1))
+            row = height - 1 - int((y - min_y) / span_y * (height - 1))
+            grid[row][col] = marker
+
+    lines = ["  ".join(legend)]
+    for i, row in enumerate(grid):
+        y_val = max_y - i / (height - 1) * span_y
+        lines.append(f"{y_val:8.2f} |" + "".join(row).rstrip())
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"{min_x:<12.1f}{x_label:^{max(0, width - 24)}}{max_x:>12.1f}"
+    )
+    lines.append(f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    max_value: float | None = None,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Horizontal bar chart with one row per label.
+
+    Raises:
+        ValueError: on mismatched inputs or an empty chart.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        raise ValueError("nothing to plot")
+    top = max_value if max_value is not None else max(values)
+    if top <= 0:
+        top = 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(value / top * width))
+        lines.append(
+            f"{label:<{label_width}} |{bar:<{width}}| " + value_format.format(value)
+        )
+    return "\n".join(lines)
+
+
+def cdf_chart(
+    series: dict[str, list[tuple[float, float]]],
+    x_label: str,
+    width: int = 72,
+    height: int = 16,
+) -> str:
+    """Convenience wrapper for CDF series (y axis is the fraction)."""
+    return ascii_line_chart(
+        series, width=width, height=height, x_label=x_label, y_label="CDF"
+    )

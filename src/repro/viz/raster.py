@@ -1,0 +1,100 @@
+"""A tiny ASCII raster canvas for map rendering.
+
+matplotlib is unavailable in this environment, so Figures 5 and 7 are
+rendered as text art: buildings as filled blocks, APs as dots, the
+building route as a line of stars.  Pixels are character cells; the
+vertical world-to-cell ratio is doubled because terminal glyphs are
+roughly twice as tall as they are wide.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Point, Polygon
+
+
+class AsciiCanvas:
+    """A character raster mapped onto a world-coordinate window."""
+
+    def __init__(
+        self,
+        min_x: float,
+        min_y: float,
+        max_x: float,
+        max_y: float,
+        width_chars: int = 100,
+    ):
+        if max_x <= min_x or max_y <= min_y:
+            raise ValueError("canvas bounds must have positive extent")
+        if width_chars < 2:
+            raise ValueError("canvas too narrow")
+        self.min_x = min_x
+        self.min_y = min_y
+        self.max_x = max_x
+        self.max_y = max_y
+        self.width = width_chars
+        aspect = (max_y - min_y) / (max_x - min_x)
+        # Character cells are ~2x taller than wide.
+        self.height = max(2, round(width_chars * aspect / 2.0))
+        self._cells = [[" "] * self.width for _ in range(self.height)]
+
+    # ------------------------------------------------------------------
+    # Coordinate mapping
+    # ------------------------------------------------------------------
+    def cell_of(self, p: Point) -> tuple[int, int] | None:
+        """(row, col) of a world point, or None when outside the window."""
+        if not (self.min_x <= p.x <= self.max_x and self.min_y <= p.y <= self.max_y):
+            return None
+        col = int((p.x - self.min_x) / (self.max_x - self.min_x) * (self.width - 1))
+        # Row 0 is the top of the picture (largest y).
+        row = int((self.max_y - p.y) / (self.max_y - self.min_y) * (self.height - 1))
+        return (row, col)
+
+    def world_of(self, row: int, col: int) -> Point:
+        """World coordinates of a cell centre."""
+        x = self.min_x + col / (self.width - 1) * (self.max_x - self.min_x)
+        y = self.max_y - row / (self.height - 1) * (self.max_y - self.min_y)
+        return Point(x, y)
+
+    # ------------------------------------------------------------------
+    # Drawing
+    # ------------------------------------------------------------------
+    def plot(self, p: Point, char: str) -> None:
+        """Draw a single character at a world point (no-op off-canvas)."""
+        cell = self.cell_of(p)
+        if cell is not None:
+            row, col = cell
+            self._cells[row][col] = char
+
+    def fill_polygon(self, polygon: Polygon, char: str) -> None:
+        """Fill a polygon by testing the centres of candidate cells."""
+        min_x, min_y, max_x, max_y = polygon.bbox
+        top_left = self.cell_of(
+            Point(max(min_x, self.min_x), min(max_y, self.max_y))
+        )
+        bottom_right = self.cell_of(
+            Point(min(max_x, self.max_x), max(min_y, self.min_y))
+        )
+        if top_left is None or bottom_right is None:
+            return
+        for row in range(top_left[0], bottom_right[0] + 1):
+            for col in range(top_left[1], bottom_right[1] + 1):
+                if polygon.contains(self.world_of(row, col)):
+                    self._cells[row][col] = char
+
+    def line(self, a: Point, b: Point, char: str) -> None:
+        """Draw a straight line by dense sampling."""
+        steps = max(
+            2,
+            int(a.distance_to(b) / (self.max_x - self.min_x) * self.width * 2),
+        )
+        for i in range(steps + 1):
+            self.plot(a.lerp(b, i / steps), char)
+
+    def polyline(self, points: list[Point], char: str) -> None:
+        """Draw connected line segments."""
+        for a, b in zip(points, points[1:]):
+            self.line(a, b, char)
+
+    def render(self) -> str:
+        """The canvas as a newline-joined string."""
+        return "\n".join("".join(row).rstrip() for row in self._cells)

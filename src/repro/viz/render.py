@@ -1,0 +1,97 @@
+"""Map renderings: the text-art analogues of Figures 5 and 7.
+
+Legend (documented in every rendering's header):
+
+====  ==========================================================
+char  meaning
+====  ==========================================================
+#     building footprint (Fig 5a's red footprints)
+~     water            %%   park / quad          =    highway
+.     AP (Fig 5b's white dots)
+*     the building route chosen by CityMesh (Fig 7's green line)
+o     AP that rebroadcast (Fig 7's light blue dots)
+x     AP that heard the packet but stayed silent (Fig 7's red)
+S/D   source / destination building centroid
+====  ==========================================================
+"""
+
+from __future__ import annotations
+
+from ..city import City
+from ..core import RoutePlan
+from ..mesh import APGraph
+from ..sim import BroadcastResult
+from .raster import AsciiCanvas
+
+_OBSTACLE_CHARS = {"water": "~", "park": "%", "highway": "="}
+
+LEGEND_CITY = "# building   ~ water   % park   = highway"
+LEGEND_MESH = LEGEND_CITY + "   . AP"
+LEGEND_SIM = (
+    LEGEND_CITY + "   * route   o AP rebroadcast   x AP silent   S source   D dest"
+)
+
+
+def _canvas_for(city: City, width_chars: int) -> AsciiCanvas:
+    min_x, min_y, max_x, max_y = city.bounds()
+    pad_x = (max_x - min_x) * 0.02
+    pad_y = (max_y - min_y) * 0.02
+    return AsciiCanvas(
+        min_x - pad_x, min_y - pad_y, max_x + pad_x, max_y + pad_y, width_chars
+    )
+
+
+def render_city(city: City, width_chars: int = 100) -> str:
+    """Figure 5a: building footprints (and obstacle regions)."""
+    canvas = _canvas_for(city, width_chars)
+    for obstacle in city.obstacles:
+        canvas.fill_polygon(obstacle.polygon, _OBSTACLE_CHARS.get(obstacle.kind, "?"))
+    for building in city.buildings:
+        canvas.fill_polygon(building.polygon, "#")
+    return f"{city.name}  [{LEGEND_CITY}]\n{canvas.render()}"
+
+
+def render_mesh(city: City, graph: APGraph, width_chars: int = 100) -> str:
+    """Figure 5b: footprints plus the AP placement."""
+    canvas = _canvas_for(city, width_chars)
+    for obstacle in city.obstacles:
+        canvas.fill_polygon(obstacle.polygon, _OBSTACLE_CHARS.get(obstacle.kind, "?"))
+    for building in city.buildings:
+        canvas.fill_polygon(building.polygon, "#")
+    for ap in graph.aps:
+        canvas.plot(ap.position, ".")
+    return (
+        f"{city.name}: {len(graph)} APs, {graph.edge_count()} links "
+        f"(range {graph.transmission_range:.0f} m)  [{LEGEND_MESH}]\n{canvas.render()}"
+    )
+
+
+def render_simulation(
+    city: City,
+    graph: APGraph,
+    plan: RoutePlan,
+    result: BroadcastResult,
+    width_chars: int = 110,
+) -> str:
+    """Figure 7: one simulated delivery, route and rebroadcast set."""
+    canvas = _canvas_for(city, width_chars)
+    for obstacle in city.obstacles:
+        canvas.fill_polygon(obstacle.polygon, _OBSTACLE_CHARS.get(obstacle.kind, "?"))
+    for building in city.buildings:
+        canvas.fill_polygon(building.polygon, "#")
+    # The chosen building route (green line in the paper's figure).
+    route_centroids = [city.building(b).centroid() for b in plan.route]
+    canvas.polyline(route_centroids, "*")
+    # APs, coloured by their role in this simulation.
+    for ap in graph.aps:
+        if ap.id in result.transmitters:
+            canvas.plot(ap.position, "o")
+        elif ap.id in result.heard:
+            canvas.plot(ap.position, "x")
+    canvas.plot(city.building(plan.route[0]).centroid(), "S")
+    canvas.plot(city.building(plan.route[-1]).centroid(), "D")
+    status = "delivered" if result.delivered else "NOT delivered"
+    return (
+        f"{city.name}: {status}, {result.transmissions} transmissions, "
+        f"{len(plan.waypoint_ids)} waypoints  [{LEGEND_SIM}]\n{canvas.render()}"
+    )

@@ -1,0 +1,160 @@
+"""Tests for repro.analysis (CDFs, percentiles, whisker bins, tables)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Cdf,
+    format_csv,
+    format_table,
+    mean,
+    percentile,
+    whisker_bins,
+)
+
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200
+)
+
+
+class TestCdf:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Cdf.from_samples([])
+
+    def test_values_sorted(self):
+        cdf = Cdf.from_samples([3, 1, 2])
+        assert cdf.values == (1, 2, 3)
+
+    def test_fractions_end_at_one(self):
+        cdf = Cdf.from_samples([5, 5, 5])
+        assert cdf.fractions[-1] == 1.0
+
+    def test_at_below_min_is_zero(self):
+        cdf = Cdf.from_samples([1, 2, 3])
+        assert cdf.at(0.5) == 0.0
+
+    def test_at_above_max_is_one(self):
+        cdf = Cdf.from_samples([1, 2, 3])
+        assert cdf.at(10) == 1.0
+
+    def test_at_exact_value(self):
+        cdf = Cdf.from_samples([1, 2, 3, 4])
+        assert cdf.at(2) == 0.5
+
+    def test_median_odd(self):
+        assert Cdf.from_samples([1, 2, 3]).median() == 2
+
+    def test_quantile_bounds(self):
+        cdf = Cdf.from_samples([1, 2])
+        with pytest.raises(ValueError):
+            cdf.quantile(0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.1)
+
+    def test_quantile_max(self):
+        assert Cdf.from_samples([1, 7, 3]).quantile(1.0) == 7
+
+    def test_series_short_is_exact(self):
+        cdf = Cdf.from_samples([1, 2, 3])
+        assert cdf.series(points=100) == list(zip(cdf.values, cdf.fractions))
+
+    def test_series_downsamples(self):
+        cdf = Cdf.from_samples(list(range(1000)))
+        s = cdf.series(points=50)
+        assert len(s) == 50
+        assert s[0][0] == 0
+        assert s[-1][0] == 999
+
+    @given(samples)
+    @settings(max_examples=50)
+    def test_fractions_monotone(self, xs):
+        cdf = Cdf.from_samples(xs)
+        assert all(a <= b for a, b in zip(cdf.fractions, cdf.fractions[1:]))
+        assert all(a <= b for a, b in zip(cdf.values, cdf.values[1:]))
+
+    @given(samples, st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=50)
+    def test_quantile_is_a_sample(self, xs, q):
+        cdf = Cdf.from_samples(xs)
+        assert cdf.quantile(q) in xs
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_zero_is_min(self):
+        assert percentile([5, 1, 9], 0) == 1
+
+    def test_hundred_is_max(self):
+        assert percentile([5, 1, 9], 100) == 9
+
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    @given(samples, st.floats(min_value=0, max_value=100))
+    @settings(max_examples=50)
+    def test_within_range(self, xs, q):
+        p = percentile(xs, q)
+        assert min(xs) <= p <= max(xs)
+
+
+class TestWhiskerBins:
+    def test_bad_width_raises(self):
+        with pytest.raises(ValueError):
+            whisker_bins([(1, 1)], bin_width=0)
+
+    def test_single_bin(self):
+        bins = whisker_bins([(5, 10), (7, 20)], bin_width=10)
+        assert len(bins) == 1
+        b = bins[0]
+        assert (b.lo, b.hi) == (0, 10)
+        assert b.count == 2
+        assert b.p100 == 20
+
+    def test_max_value_filters(self):
+        bins = whisker_bins([(5, 1), (500, 2)], bin_width=10, max_value=100)
+        assert len(bins) == 1
+        assert bins[0].count == 1
+
+    def test_bins_ordered_and_skip_empty(self):
+        bins = whisker_bins([(5, 1), (95, 2)], bin_width=10)
+        assert [b.lo for b in bins] == [0, 90]
+
+    def test_percentiles_monotone_within_bin(self):
+        ys = [(1, v) for v in [3, 1, 4, 1, 5, 9, 2, 6]]
+        b = whisker_bins(ys, bin_width=10)[0]
+        assert b.p10 <= b.p25 <= b.p50 <= b.p75 <= b.p100
+
+
+class TestMean:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_basic(self):
+        assert mean([1, 2, 3]) == 2
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        out = format_table(["name", "x"], [["a", 1], ["long-name", 2.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "long-name" in lines[3]
+        assert "2.500" in lines[3]
+
+    def test_format_table_title(self):
+        out = format_table(["h"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_format_csv(self):
+        out = format_csv(["a", "b"], [[1, 2.0], [3, "x"]])
+        assert out.splitlines() == ["a,b", "1,2.000", "3,x"]

@@ -1,0 +1,221 @@
+"""Tests for the city model and synthetic generators."""
+
+import random
+
+import pytest
+
+from repro.city import (
+    Building,
+    City,
+    Obstacle,
+    campus,
+    city_from_footprints,
+    fractured_city,
+    grid_downtown,
+    l_shaped_building,
+    make_city,
+    old_town,
+    park_city,
+    preset_names,
+    residential,
+    river_city,
+    rotated_rectangle,
+    subdivide_block,
+)
+from repro.geometry import Point, Polygon
+from repro.osm import Footprint
+
+
+def small_city():
+    return City(
+        name="tiny",
+        buildings=[
+            Building(1, Polygon.rectangle(0, 0, 20, 20)),
+            Building(2, Polygon.rectangle(50, 0, 70, 20)),
+        ],
+    )
+
+
+class TestCityModel:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            City(
+                "dup",
+                [
+                    Building(1, Polygon.rectangle(0, 0, 1, 1)),
+                    Building(1, Polygon.rectangle(2, 2, 3, 3)),
+                ],
+            )
+
+    def test_lookup(self):
+        c = small_city()
+        assert c.building(1).id == 1
+        assert c.has_building(2)
+        assert not c.has_building(99)
+        with pytest.raises(KeyError):
+            c.building(99)
+
+    def test_len_iter(self):
+        c = small_city()
+        assert len(c) == 2
+        assert [b.id for b in c] == [1, 2]
+
+    def test_bounds(self):
+        assert small_city().bounds() == (0, 0, 70, 20)
+
+    def test_bounds_empty_raises(self):
+        with pytest.raises(ValueError):
+            City("empty", []).bounds()
+
+    def test_bounds_include_obstacles(self):
+        c = City(
+            "obs",
+            [Building(1, Polygon.rectangle(0, 0, 10, 10))],
+            [Obstacle(Polygon.rectangle(-50, -50, -40, -40), "water")],
+        )
+        assert c.bounds()[0] == -50
+
+    def test_total_building_area(self):
+        assert small_city().total_building_area() == 800
+
+    def test_buildings_near(self):
+        c = small_city()
+        near = c.buildings_near(Point(10, 10), 5)
+        assert [b.id for b in near] == [1]
+
+    def test_building_containing(self):
+        c = small_city()
+        assert c.building_containing(Point(10, 10)).id == 1
+        assert c.building_containing(Point(35, 10)) is None
+
+    def test_nearest_building(self):
+        c = small_city()
+        assert c.nearest_building(Point(45, 10)).id == 2
+        assert City("e", []).nearest_building(Point(0, 0)) is None
+
+    def test_from_footprints(self):
+        fps = [Footprint(7, Polygon.rectangle(0, 0, 10, 10), {"building": "house"})]
+        c = city_from_footprints("osm-city", fps)
+        assert c.building(7).kind == "house"
+
+
+class TestBlockHelpers:
+    def test_subdivide_counts(self):
+        rng = random.Random(0)
+        polys = subdivide_block(0, 0, 100, 100, rng, lots_x=2, lots_y=2, occupancy=1.0)
+        assert len(polys) == 4
+
+    def test_subdivide_occupancy_zero(self):
+        rng = random.Random(0)
+        assert subdivide_block(0, 0, 100, 100, rng, occupancy=0.0) == []
+
+    def test_subdivide_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            subdivide_block(0, 0, 10, 10, rng, lots_x=0)
+        with pytest.raises(ValueError):
+            subdivide_block(0, 0, 10, 10, rng, occupancy=2)
+
+    def test_subdivide_respects_setback(self):
+        rng = random.Random(1)
+        for poly in subdivide_block(0, 0, 100, 100, rng, setback=5.0, jitter=0.0):
+            min_x, min_y, max_x, max_y = poly.bbox
+            assert min_x >= 5 - 1e-9 and min_y >= 5 - 1e-9
+            assert max_x <= 95 + 1e-9 and max_y <= 95 + 1e-9
+
+    def test_rotated_rectangle_area(self):
+        poly = rotated_rectangle(Point(0, 0), 10, 6, 0.7)
+        assert poly.area() == pytest.approx(60)
+
+    def test_rotated_rectangle_validation(self):
+        with pytest.raises(ValueError):
+            rotated_rectangle(Point(0, 0), 0, 5, 0)
+
+    def test_l_shape_area(self):
+        poly = l_shaped_building(0, 0, 10, 10, notch_fraction=0.5)
+        assert poly.area() == pytest.approx(75)
+
+    def test_l_shape_validation(self):
+        with pytest.raises(ValueError):
+            l_shaped_building(0, 0, 1, 1, notch_fraction=1.0)
+
+
+class TestGenerators:
+    def test_grid_downtown_deterministic(self):
+        a = grid_downtown(seed=5)
+        b = grid_downtown(seed=5)
+        assert len(a) == len(b)
+        assert a.buildings[0].polygon.vertices == b.buildings[0].polygon.vertices
+
+    def test_grid_downtown_seed_changes_layout(self):
+        a = grid_downtown(seed=1)
+        b = grid_downtown(seed=2)
+        assert a.buildings[0].polygon.vertices != b.buildings[0].polygon.vertices
+
+    def test_residential_smaller_buildings(self):
+        dt = grid_downtown(seed=0)
+        res = residential(seed=0)
+        mean_dt = dt.total_building_area() / len(dt)
+        mean_res = res.total_building_area() / len(res)
+        assert mean_res < mean_dt / 4
+
+    def test_campus_has_quads(self):
+        c = campus(seed=0)
+        assert len(c.obstacles) == 2
+        assert all(o.kind == "park" for o in c.obstacles)
+        assert len(c) > 20
+
+    def test_campus_buildings_avoid_quads(self):
+        c = campus(seed=3)
+        for b in c.buildings:
+            for o in c.obstacles:
+                assert b.polygon.distance_to_polygon(o.polygon) > 0
+
+    def test_river_city_no_buildings_in_river(self):
+        c = river_city(seed=0, bridges=0)
+        river = c.obstacles[0].polygon
+        for b in c.buildings:
+            assert b.polygon.distance_to_polygon(river) > 0
+
+    def test_river_city_bridges_add_structures(self):
+        without = river_city(seed=0, bridges=0)
+        with_bridges = river_city(seed=0, bridges=2)
+        bridge_buildings = [b for b in with_bridges.buildings if b.kind == "bridge"]
+        assert bridge_buildings
+        assert len(with_bridges) > len(without)
+
+    def test_park_city_has_central_void(self):
+        c = park_city(seed=0)
+        park = c.obstacles[0].polygon
+        center = park.centroid()
+        assert c.building_containing(center) is None
+
+    def test_fractured_city_obstacle_kinds(self):
+        c = fractured_city(seed=0)
+        kinds = sorted(o.kind for o in c.obstacles)
+        assert kinds == ["highway", "highway", "water"]
+
+    def test_old_town_no_overlaps(self):
+        c = old_town(seed=0, building_count=60, radius=300)
+        polys = [b.polygon for b in c.buildings]
+        # Spot-check pairwise separation on a sample.
+        for i in range(0, len(polys), 7):
+            for j in range(i + 1, min(i + 5, len(polys))):
+                assert polys[i].distance_to_polygon(polys[j]) > 0
+
+
+class TestPresets:
+    def test_all_presets_instantiate(self):
+        for name in preset_names():
+            c = make_city(name, seed=0)
+            assert len(c) > 10, name
+            assert c.name == name
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            make_city("atlantis")
+
+    def test_riverton_differs_from_pontsville(self):
+        riverton = make_city("riverton")
+        pontsville = make_city("pontsville")
+        assert len(pontsville) > len(riverton)  # bridges add structures

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface (reduced scales)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_fig6_args(self):
+        args = build_parser().parse_args(
+            ["fig6", "--reach-pairs", "10", "--delivery-pairs", "2", "--cities", "gridport"]
+        )
+        assert args.reach_pairs == 10
+        assert args.cities == ["gridport"]
+
+    def test_seed_everywhere(self):
+        args = build_parser().parse_args(["fig5", "--seed", "9"])
+        assert args.seed == 9
+
+
+class TestCommands:
+    def test_fig5(self, capsys):
+        assert main(["fig5", "--blocks", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "#" in out
+
+    def test_fig6_small(self, capsys):
+        code = main(
+            ["fig6", "--reach-pairs", "20", "--delivery-pairs", "3",
+             "--cities", "gridport"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "gridport" in out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7", "--city", "gridport"]) == 0
+        out = capsys.readouterr().out
+        assert "delivered" in out
+
+    def test_header(self, capsys):
+        assert main(["header", "--pairs", "10"]) == 0
+        assert "header sizes" in capsys.readouterr().out
+
+    def test_bridging(self, capsys):
+        assert main(["bridging", "--cities", "riverton"]) == 0
+        out = capsys.readouterr().out
+        assert "riverton" in out
+        assert "bridging" in out
+
+    def test_baselines(self, capsys):
+        assert main(["baselines", "--pairs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "citymesh" in out
+        assert "flood" in out

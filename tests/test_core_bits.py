@@ -1,0 +1,104 @@
+"""Tests for the bit-level packing layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BitReader, BitWriter, bits_needed
+
+
+class TestBitWriter:
+    def test_single_byte(self):
+        w = BitWriter()
+        w.write(0b1010, 4)
+        w.write(0b0101, 4)
+        assert w.to_bytes() == bytes([0b10100101])
+
+    def test_padding(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        assert w.to_bytes() == bytes([0b10100000])
+        assert w.bit_length() == 3
+
+    def test_value_too_big(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(4, 2)
+
+    def test_negative_value(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(-1, 4)
+
+    def test_zero_width(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(0, 0)
+
+    def test_empty(self):
+        assert BitWriter().to_bytes() == b""
+
+
+class TestBitReader:
+    def test_read_back(self):
+        r = BitReader(bytes([0b10100101]))
+        assert r.read(4) == 0b1010
+        assert r.read(4) == 0b0101
+
+    def test_read_past_end(self):
+        r = BitReader(b"\xff")
+        r.read(8)
+        with pytest.raises(ValueError):
+            r.read(1)
+
+    def test_bits_remaining(self):
+        r = BitReader(b"\x00\x00")
+        r.read(3)
+        assert r.bits_remaining() == 13
+
+    def test_zero_width(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\x00").read(0)
+
+    def test_cross_byte_read(self):
+        r = BitReader(bytes([0b00000001, 0b10000000]))
+        assert r.read(9) == 0b000000011
+
+
+class TestBitsNeeded:
+    def test_zero(self):
+        assert bits_needed(0) == 1
+
+    def test_powers(self):
+        assert bits_needed(1) == 1
+        assert bits_needed(2) == 2
+        assert bits_needed(255) == 8
+        assert bits_needed(256) == 9
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            bits_needed(-1)
+
+
+class TestRoundtrip:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=1, max_value=32), st.integers(min_value=0)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=80)
+    def test_write_read_roundtrip(self, specs):
+        fields = [(width, value % (1 << width)) for width, value in specs]
+        w = BitWriter()
+        for width, value in fields:
+            w.write(value, width)
+        r = BitReader(w.to_bytes())
+        for width, value in fields:
+            assert r.read(width) == value
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=50)
+    def test_64bit_roundtrip(self, value):
+        w = BitWriter()
+        w.write(value, 64)
+        assert BitReader(w.to_bytes()).read(64) == value

@@ -1,0 +1,129 @@
+"""Tests for the packet header codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    HeaderError,
+    Packet,
+    bits_needed,
+    decode_header,
+    encode_header,
+)
+
+
+def roundtrip(waypoints, width=50, message_id=7, max_id=None):
+    if max_id is None:
+        max_id = max(waypoints)
+    data = encode_header(waypoints, width, message_id, max_id)
+    return decode_header(data)
+
+
+class TestEncodeValidation:
+    def test_empty_waypoints(self):
+        with pytest.raises(HeaderError):
+            encode_header([], 50, 0, 10)
+
+    def test_too_many_waypoints(self):
+        with pytest.raises(HeaderError):
+            encode_header(list(range(256)), 50, 0, 300)
+
+    def test_width_out_of_range(self):
+        with pytest.raises(HeaderError):
+            encode_header([1], 0, 0, 10)
+        with pytest.raises(HeaderError):
+            encode_header([1], 300, 0, 10)
+
+    def test_waypoint_outside_id_space(self):
+        with pytest.raises(HeaderError):
+            encode_header([11], 50, 0, 10)
+        with pytest.raises(HeaderError):
+            encode_header([-1], 50, 0, 10)
+
+    def test_message_id_range(self):
+        with pytest.raises(HeaderError):
+            encode_header([1], 50, -1, 10)
+        with pytest.raises(HeaderError):
+            encode_header([1], 50, 1 << 64, 10)
+
+
+class TestDecode:
+    def test_roundtrip_simple(self):
+        h = roundtrip([3, 7, 42], width=50, message_id=123456, max_id=100)
+        assert h.waypoints == (3, 7, 42)
+        assert h.width_m == 50
+        assert h.message_id == 123456
+        assert h.source_building == 3
+        assert h.destination_building == 42
+
+    def test_width_rounding(self):
+        h = roundtrip([1], width=49.6, max_id=10)
+        assert h.width_m == 50
+
+    def test_truncated_data(self):
+        data = encode_header([1, 2, 3], 50, 9, 100)
+        with pytest.raises(HeaderError):
+            decode_header(data[: len(data) // 2])
+
+    def test_bad_version(self):
+        data = bytearray(encode_header([1], 50, 9, 10))
+        data[0] = (data[0] & 0x0F) | (0xE0)  # version 14
+        with pytest.raises(HeaderError):
+            decode_header(bytes(data))
+
+    def test_empty_bytes(self):
+        with pytest.raises(HeaderError):
+            decode_header(b"")
+
+
+class TestSizes:
+    def test_id_bits_follow_map_size(self):
+        small = roundtrip([1, 2], max_id=255)
+        large = roundtrip([1, 2], max_id=100_000)
+        assert small.id_bits == 8
+        assert large.id_bits == bits_needed(100_000) == 17
+
+    def test_route_bits_formula(self):
+        h = roundtrip([1, 2, 3], max_id=100_000)
+        assert h.route_bits() == 8 + 6 + 3 * 17
+
+    def test_total_bits_formula(self):
+        h = roundtrip([1, 2, 3], max_id=100_000)
+        assert h.total_bits() == 4 + 8 + 6 + 8 + 3 * 17 + 64
+
+    def test_city_scale_header_matches_paper_regime(self):
+        """~10 waypoints in a 10^5-building map is in the paper's
+        175-225 bit band for the compressed source route."""
+        h = roundtrip(list(range(1, 11)), max_id=100_000)
+        assert 150 <= h.route_bits() <= 225
+
+    def test_packet_size_bits(self):
+        data = encode_header([1, 2], 50, 9, 100)
+        pkt = Packet(header=decode_header(data), payload=b"hello")
+        assert pkt.size_bits() == decode_header(data).total_bits() + 40
+        assert pkt.message_id == 9
+
+
+class TestRoundtripProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**20), min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=255),
+        st.integers(min_value=0, max_value=2**64 - 1),
+    )
+    @settings(max_examples=80)
+    def test_arbitrary_roundtrip(self, waypoints, width, message_id):
+        max_id = max(waypoints + [1])
+        data = encode_header(waypoints, width, message_id, max_id)
+        h = decode_header(data)
+        assert h.waypoints == tuple(waypoints)
+        assert h.width_m == width
+        assert h.message_id == message_id
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=60))
+    @settings(max_examples=50)
+    def test_header_bytes_match_bit_count(self, waypoints):
+        max_id = max(waypoints)
+        data = encode_header(waypoints, 50, 0, max_id)
+        h = decode_header(data)
+        assert len(data) == (h.total_bits() + 7) // 8

@@ -1,0 +1,94 @@
+"""Property-based tests for the discrete-event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=60
+)
+
+
+class TestEngineProperties:
+    @given(delays)
+    @settings(max_examples=60)
+    def test_events_fire_in_nondecreasing_time_order(self, ds):
+        env = Environment()
+        fired: list[float] = []
+        for d in ds:
+            env.timeout(d).callbacks.append(lambda _e: fired.append(env.now))
+        env.run()
+        assert len(fired) == len(ds)
+        assert all(a <= b for a, b in zip(fired, fired[1:]))
+        assert sorted(fired) == sorted(ds)
+
+    @given(delays)
+    @settings(max_examples=60)
+    def test_equal_times_fire_in_scheduling_order(self, ds):
+        env = Environment()
+        order: list[int] = []
+        # Schedule every event at the same instant; FIFO must hold.
+        for i, _ in enumerate(ds):
+            env.timeout(1.0).callbacks.append(lambda _e, i=i: order.append(i))
+        env.run()
+        assert order == list(range(len(ds)))
+
+    @given(delays)
+    @settings(max_examples=40)
+    def test_clock_never_goes_backwards(self, ds):
+        env = Environment()
+        observed: list[float] = []
+
+        def proc():
+            for d in sorted(ds):
+                yield env.timeout(max(0.0, d - env.now))
+                observed.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert all(a <= b for a, b in zip(observed, observed[1:]))
+
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40)
+    def test_nested_processes_complete(self, depth, seed):
+        env = Environment()
+        trace: list[int] = []
+
+        def worker(level: int):
+            yield env.timeout(0.001 * (seed % 7 + 1))
+            trace.append(level)
+            if level > 0:
+                result = yield env.process(worker(level - 1))
+                return result + 1
+            return 0
+
+        p = env.process(worker(depth))
+        result = env.run(until=p)
+        assert result == depth
+        assert trace == list(range(depth, -1, -1))
+
+    @given(delays)
+    @settings(max_examples=40)
+    def test_run_until_time_is_resumable(self, ds):
+        """Running in two halves produces the same firings as one run."""
+        cut = max(ds) / 2 if ds else 0.0
+
+        def run_split():
+            env = Environment()
+            fired = []
+            for d in ds:
+                env.timeout(d).callbacks.append(lambda _e, d=d: fired.append(d))
+            env.run(until=cut)
+            env.run()
+            return fired
+
+        def run_whole():
+            env = Environment()
+            fired = []
+            for d in ds:
+                env.timeout(d).callbacks.append(lambda _e, d=d: fired.append(d))
+            env.run()
+            return fired
+
+        assert run_split() == run_whole()

@@ -1,0 +1,150 @@
+"""Tests for the inter-region DFN federation."""
+
+import random
+
+import pytest
+
+from repro.city import make_city
+from repro.federation import (
+    Federation,
+    InterRegionLink,
+    make_region,
+    send_interregion,
+)
+from repro.mesh import APGraph, place_aps
+
+
+def build_region(name: str, city_name: str, seed: int):
+    city = make_city(city_name, seed=seed)
+    aps = place_aps(city, rng=random.Random(seed))
+    graph = APGraph(aps)
+    # Gateways: the first and last AP-bearing buildings.
+    gateways = [b.id for b in city.buildings if graph.aps_in_building(b.id)]
+    return make_region(name, city, graph, [gateways[0], gateways[-1]])
+
+
+@pytest.fixture(scope="module")
+def federation():
+    fed = Federation()
+    north = build_region("north", "gridport", seed=1)
+    south = build_region("south", "parkside", seed=2)
+    west = build_region("west", "oldtown", seed=3)
+    for region in (north, south, west):
+        fed.add_region(region)
+    fed.add_link(
+        InterRegionLink(
+            "north", north.gateway_buildings[0],
+            "south", south.gateway_buildings[0],
+            latency_s=0.6,
+        )
+    )
+    fed.add_link(
+        InterRegionLink(
+            "south", south.gateway_buildings[1],
+            "west", west.gateway_buildings[0],
+            latency_s=0.6,
+        )
+    )
+    return fed
+
+
+class TestModel:
+    def test_duplicate_region_rejected(self, federation):
+        with pytest.raises(ValueError):
+            federation.add_region(build_region("north", "gridport", seed=1))
+
+    def test_link_requires_registered_gateway(self, federation):
+        north = federation.regions["north"]
+        with pytest.raises(ValueError):
+            federation.add_link(
+                InterRegionLink("north", 99999, "south",
+                                federation.regions["south"].gateway_buildings[0])
+            )
+
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            InterRegionLink("a", 1, "a", 2)
+        with pytest.raises(ValueError):
+            InterRegionLink("a", 1, "b", 2, latency_s=-1)
+
+    def test_gateway_validation(self):
+        with pytest.raises(ValueError):
+            build = build_region("x", "gridport", seed=1)
+            build.gateway_buildings.append(424242)
+            from repro.federation import Region
+
+            Region(
+                name="bad",
+                city=build.city,
+                graph=build.graph,
+                router=build.router,
+                gateway_buildings=[424242],
+            )
+
+    def test_region_path_direct(self, federation):
+        path = federation.region_path("north", "south")
+        assert path is not None and len(path) == 1
+
+    def test_region_path_two_hops(self, federation):
+        path = federation.region_path("north", "west")
+        assert path is not None and len(path) == 2
+
+    def test_region_path_same_region(self, federation):
+        assert federation.region_path("north", "north") == []
+
+    def test_region_path_unknown(self, federation):
+        with pytest.raises(KeyError):
+            federation.region_path("north", "atlantis")
+
+    def test_region_path_disconnected(self):
+        fed = Federation()
+        fed.add_region(build_region("a", "gridport", seed=1))
+        fed.add_region(build_region("b", "oldtown", seed=2))
+        assert fed.region_path("a", "b") is None
+
+
+class TestTransit:
+    def test_intra_region_delivery(self, federation):
+        north = federation.regions["north"]
+        buildings = [b.id for b in north.city.buildings if north.graph.aps_in_building(b.id)]
+        report = send_interregion(
+            federation, "north", buildings[5], "north", buildings[-5], random.Random(0)
+        )
+        assert report.delivered
+        assert all(leg.kind == "mesh" for leg in report.legs)
+
+    def test_cross_region_delivery(self, federation):
+        north = federation.regions["north"]
+        south = federation.regions["south"]
+        src = [b.id for b in north.city.buildings if north.graph.aps_in_building(b.id)][10]
+        dst = [b.id for b in south.city.buildings if south.graph.aps_in_building(b.id)][-10]
+        report = send_interregion(federation, "north", src, "south", dst, random.Random(1))
+        assert report.delivered
+        kinds = [leg.kind for leg in report.legs]
+        assert kinds.count("long-haul") == 1
+        assert kinds[0] == "mesh" and kinds[-1] == "mesh"
+        # Satellite latency dominates the total.
+        assert report.total_latency_s >= 0.6
+        assert report.mesh_transmissions > 0
+
+    def test_two_hop_delivery(self, federation):
+        north = federation.regions["north"]
+        west = federation.regions["west"]
+        src = [b.id for b in north.city.buildings if north.graph.aps_in_building(b.id)][3]
+        dst = [b.id for b in west.city.buildings if west.graph.aps_in_building(b.id)][-3]
+        report = send_interregion(federation, "north", src, "west", dst, random.Random(2))
+        assert report.delivered
+        assert sum(1 for leg in report.legs if leg.kind == "long-haul") == 2
+        assert report.total_latency_s >= 1.2
+
+    def test_disconnected_regions_fail_cleanly(self):
+        fed = Federation()
+        fed.add_region(build_region("a", "gridport", seed=1))
+        fed.add_region(build_region("b", "oldtown", seed=2))
+        a = fed.regions["a"]
+        b = fed.regions["b"]
+        src = a.gateway_buildings[0]
+        dst = b.gateway_buildings[0]
+        report = send_interregion(fed, "a", src, "b", dst, random.Random(0))
+        assert not report.delivered
+        assert report.legs == []

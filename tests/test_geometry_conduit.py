@@ -1,0 +1,149 @@
+"""Unit and property tests for conduit rectangles (Figure 4 geometry)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import ConduitPath, ConduitRect, Point, covers_all
+
+coord = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coord, coord)
+widths = st.floats(min_value=0.5, max_value=500, allow_nan=False)
+
+
+class TestConduitRect:
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            ConduitRect(Point(0, 0), Point(1, 0), 0)
+
+    def test_length(self):
+        assert ConduitRect(Point(0, 0), Point(3, 4), 10).length == 5
+
+    def test_contains_on_axis(self):
+        c = ConduitRect(Point(0, 0), Point(100, 0), 50)
+        assert c.contains(Point(50, 0))
+        assert c.contains(Point(50, 24.9))
+        assert c.contains(Point(50, 25))  # inclusive edge
+        assert not c.contains(Point(50, 25.1))
+
+    def test_contains_longitudinal_cutoff(self):
+        c = ConduitRect(Point(0, 0), Point(100, 0), 50)
+        assert c.contains(Point(0, 0))
+        assert c.contains(Point(100, 0))
+        assert not c.contains(Point(-0.1, 0))
+        assert not c.contains(Point(100.1, 0))
+
+    def test_contains_rotated(self):
+        c = ConduitRect(Point(0, 0), Point(100, 100), 20)
+        assert c.contains(Point(50, 50))
+        # ~7.07 m lateral offset < 10 m half-width
+        assert c.contains(Point(45, 55))
+        # ~14.1 m lateral offset > 10 m half-width
+        assert not c.contains(Point(40, 60))
+
+    def test_degenerate_is_disc(self):
+        c = ConduitRect(Point(5, 5), Point(5, 5), 10)
+        assert c.contains(Point(5, 5))
+        assert c.contains(Point(9, 5))
+        assert not c.contains(Point(11, 5))
+
+    def test_distance_inside_zero(self):
+        c = ConduitRect(Point(0, 0), Point(100, 0), 50)
+        assert c.distance_to(Point(50, 10)) == 0
+
+    def test_distance_lateral(self):
+        c = ConduitRect(Point(0, 0), Point(100, 0), 50)
+        assert c.distance_to(Point(50, 40)) == pytest.approx(15)
+
+    def test_corners_form_rectangle(self):
+        c = ConduitRect(Point(0, 0), Point(10, 0), 4)
+        corners = c.corners()
+        ys = sorted(p.y for p in corners)
+        assert ys == [-2, -2, 2, 2]
+        xs = sorted(p.x for p in corners)
+        assert xs == [0, 0, 10, 10]
+
+
+class TestConduitPath:
+    def test_from_waypoints_chain(self):
+        path = ConduitPath.from_waypoints(
+            [Point(0, 0), Point(100, 0), Point(100, 100)], width=50
+        )
+        assert len(path.rects) == 2
+        assert path.total_length() == pytest.approx(200)
+
+    def test_from_single_waypoint(self):
+        path = ConduitPath.from_waypoints([Point(3, 3)], width=10)
+        assert path.contains(Point(3, 3))
+        assert path.contains(Point(7, 3))
+        assert not path.contains(Point(30, 3))
+
+    def test_empty_waypoints_raises(self):
+        with pytest.raises(ValueError):
+            ConduitPath.from_waypoints([], width=10)
+
+    def test_contains_any_rect(self):
+        path = ConduitPath.from_waypoints(
+            [Point(0, 0), Point(100, 0), Point(100, 100)], width=50
+        )
+        assert path.contains(Point(50, 10))     # first leg
+        assert path.contains(Point(110, 50))    # second leg
+        assert not path.contains(Point(50, 60))  # in neither
+
+    def test_waypoints_roundtrip(self):
+        wps = [Point(0, 0), Point(10, 0), Point(10, 10)]
+        path = ConduitPath.from_waypoints(wps, width=5)
+        assert path.waypoints() == wps
+
+    def test_corner_coverage_at_waypoint(self):
+        """The shared waypoint itself is in both adjacent conduits."""
+        path = ConduitPath.from_waypoints(
+            [Point(0, 0), Point(100, 0), Point(100, 100)], width=50
+        )
+        assert path.rects[0].contains(Point(100, 0))
+        assert path.rects[1].contains(Point(100, 0))
+
+
+class TestCoversAll:
+    def test_all_points_on_axis(self):
+        pts = [Point(x, 0) for x in range(0, 101, 10)]
+        assert covers_all(Point(0, 0), Point(100, 0), 50, pts)
+
+    def test_one_point_outside(self):
+        pts = [Point(50, 0), Point(50, 40)]
+        assert not covers_all(Point(0, 0), Point(100, 0), 50, pts)
+
+    def test_empty_points_trivially_true(self):
+        assert covers_all(Point(0, 0), Point(1, 0), 1, [])
+
+
+class TestConduitProperties:
+    @given(points, points, widths)
+    @settings(max_examples=60)
+    def test_endpoints_always_contained(self, a, b, w):
+        c = ConduitRect(a, b, w)
+        assert c.contains(a)
+        assert c.contains(b)
+
+    @given(points, points, widths, st.floats(min_value=0, max_value=1))
+    @settings(max_examples=60)
+    def test_axis_points_contained(self, a, b, w, t):
+        c = ConduitRect(a, b, w)
+        assert c.contains(a.lerp(b, t))
+
+    @given(points, points, widths, points)
+    @settings(max_examples=60)
+    def test_contains_iff_distance_zero(self, a, b, w, p):
+        c = ConduitRect(a, b, w)
+        if c.contains(p):
+            assert c.distance_to(p) == 0
+        else:
+            assert c.distance_to(p) >= 0
+
+    @given(points, points, st.floats(min_value=1, max_value=100), points)
+    @settings(max_examples=60)
+    def test_wider_conduit_is_superset(self, a, b, w, p):
+        narrow = ConduitRect(a, b, w)
+        wide = ConduitRect(a, b, w * 2)
+        if narrow.contains(p):
+            assert wide.contains(p)

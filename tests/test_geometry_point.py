@@ -1,0 +1,126 @@
+"""Unit and property tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, centroid_of
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, finite, finite)
+
+
+class TestPointArithmetic:
+    def test_add(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+
+    def test_sub(self):
+        assert Point(5, 5) - Point(2, 3) == Point(3, 2)
+
+    def test_scalar_mul(self):
+        assert Point(1, -2) * 3 == Point(3, -6)
+
+    def test_rmul(self):
+        assert 2 * Point(1, 1) == Point(2, 2)
+
+    def test_div(self):
+        assert Point(4, 6) / 2 == Point(2, 3)
+
+    def test_neg(self):
+        assert -Point(1, -2) == Point(-1, 2)
+
+    def test_iter_unpacks(self):
+        x, y = Point(7, 8)
+        assert (x, y) == (7, 8)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestVectorOps:
+    def test_dot(self):
+        assert Point(1, 2).dot(Point(3, 4)) == 11
+
+    def test_cross_sign(self):
+        # CCW turn -> positive cross
+        assert Point(1, 0).cross(Point(0, 1)) == 1
+        assert Point(0, 1).cross(Point(1, 0)) == -1
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == 5
+
+    def test_norm_sq(self):
+        assert Point(3, 4).norm_sq() == 25
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5
+
+    def test_distance_sq(self):
+        assert Point(1, 1).distance_sq_to(Point(4, 5)) == 25
+
+    def test_normalized(self):
+        n = Point(0, 5).normalized()
+        assert n == Point(0, 1)
+
+    def test_normalized_zero_raises(self):
+        with pytest.raises(ValueError):
+            Point(0, 0).normalized()
+
+    def test_perpendicular_is_ccw_rotation(self):
+        assert Point(1, 0).perpendicular() == Point(0, 1)
+
+    def test_perpendicular_orthogonal(self):
+        v = Point(3.3, -1.2)
+        assert v.dot(v.perpendicular()) == pytest.approx(0)
+
+    def test_lerp_endpoints(self):
+        a, b = Point(0, 0), Point(10, 20)
+        assert a.lerp(b, 0) == a
+        assert a.lerp(b, 1) == b
+        assert a.lerp(b, 0.5) == Point(5, 10)
+
+
+class TestCentroidOf:
+    def test_single(self):
+        assert centroid_of([Point(2, 3)]) == Point(2, 3)
+
+    def test_square_corners(self):
+        pts = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert centroid_of(pts) == Point(1, 1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid_of([])
+
+
+class TestPointProperties:
+    @given(points, points)
+    def test_distance_symmetric(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(points)
+    def test_distance_to_self_zero(self, a):
+        assert a.distance_to(a) == 0
+
+    @given(points, points)
+    def test_norm_sq_consistent(self, a, b):
+        d = a.distance_to(b)
+        assert d * d == pytest.approx(a.distance_sq_to(b), rel=1e-9, abs=1e-6)
+
+    @given(points, points)
+    def test_add_sub_roundtrip(self, a, b):
+        assert ((a + b) - b).distance_to(a) < 1e-6
+
+    @given(points)
+    def test_hashable_and_frozen(self, a):
+        assert hash(a) == hash(Point(a.x, a.y))
+        with pytest.raises(Exception):
+            a.x = 0.0  # type: ignore[misc]

@@ -1,0 +1,161 @@
+"""Tests for polygons with holes and OSM multipolygon buildings."""
+
+import random
+
+import pytest
+
+from repro.city import Building, City, city_from_footprints
+from repro.geometry import Point, Polygon, PolygonWithHoles, Segment
+from repro.osm import (
+    RELATION_ID_OFFSET,
+    LocalProjection,
+    buildings_from_document,
+    parse_osm_xml,
+)
+
+OUTER = Polygon.rectangle(0, 0, 100, 100)
+HOLE = Polygon.rectangle(40, 40, 60, 60)
+COURTYARD = PolygonWithHoles(OUTER, [HOLE])
+
+PROJ = LocalProjection(42.36, -71.06)
+
+MULTIPOLYGON_XML = """
+<osm version="0.6">
+  <node id="1" lat="42.3600" lon="-71.0600"/>
+  <node id="2" lat="42.3600" lon="-71.0588"/>
+  <node id="3" lat="42.3609" lon="-71.0588"/>
+  <node id="4" lat="42.3609" lon="-71.0600"/>
+  <node id="5" lat="42.36030" lon="-71.05960"/>
+  <node id="6" lat="42.36030" lon="-71.05930"/>
+  <node id="7" lat="42.36060" lon="-71.05930"/>
+  <node id="8" lat="42.36060" lon="-71.05960"/>
+  <way id="10">
+    <nd ref="1"/><nd ref="2"/><nd ref="3"/><nd ref="4"/><nd ref="1"/>
+  </way>
+  <way id="11">
+    <nd ref="5"/><nd ref="6"/><nd ref="7"/><nd ref="8"/><nd ref="5"/>
+  </way>
+  <relation id="77">
+    <member type="way" ref="10" role="outer"/>
+    <member type="way" ref="11" role="inner"/>
+    <tag k="type" v="multipolygon"/>
+    <tag k="building" v="yes"/>
+  </relation>
+</osm>
+"""
+
+
+class TestPolygonWithHoles:
+    def test_area_subtracts_holes(self):
+        assert COURTYARD.area() == pytest.approx(100 * 100 - 20 * 20)
+
+    def test_perimeter_includes_holes(self):
+        assert COURTYARD.perimeter() == pytest.approx(400 + 80)
+
+    def test_contains_excludes_courtyard(self):
+        assert COURTYARD.contains(Point(10, 10))
+        assert not COURTYARD.contains(Point(50, 50))
+
+    def test_hole_wall_counts_as_inside(self):
+        assert COURTYARD.contains(Point(40, 50))
+
+    def test_outside_outer(self):
+        assert not COURTYARD.contains(Point(200, 200))
+
+    def test_centroid_symmetric_case(self):
+        # Symmetric courtyard: centroid stays at the centre.
+        c = COURTYARD.centroid()
+        assert c.distance_to(Point(50, 50)) < 1e-9
+
+    def test_centroid_shifts_away_from_offset_hole(self):
+        offset = PolygonWithHoles(OUTER, [Polygon.rectangle(70, 70, 95, 95)])
+        c = offset.centroid()
+        assert c.x < 50 and c.y < 50
+
+    def test_distance_to_point(self):
+        assert COURTYARD.distance_to_point(Point(10, 10)) == 0
+        # Centre of the courtyard is 10 m from the nearest hole wall.
+        assert COURTYARD.distance_to_point(Point(50, 50)) == pytest.approx(10)
+        assert COURTYARD.distance_to_point(Point(110, 50)) == pytest.approx(10)
+
+    def test_distance_to_polygon(self):
+        other = Polygon.rectangle(130, 0, 150, 20)
+        assert COURTYARD.distance_to_polygon(other) == pytest.approx(30)
+        inside = Polygon.rectangle(5, 5, 15, 15)
+        assert COURTYARD.distance_to_polygon(inside) == 0
+
+    def test_intersects_segment(self):
+        assert COURTYARD.intersects_segment(Segment(Point(-10, 50), Point(10, 50)))
+        assert not COURTYARD.intersects_segment(Segment(Point(200, 0), Point(300, 0)))
+
+    def test_random_point_never_in_hole(self):
+        rng = random.Random(3)
+        for _ in range(100):
+            p = COURTYARD.random_point_inside(rng)
+            assert COURTYARD.contains(p)
+            assert not (40 < p.x < 60 and 40 < p.y < 60)
+
+    def test_vertices_and_bbox_are_outer(self):
+        assert COURTYARD.vertices == OUTER.vertices
+        assert COURTYARD.bbox == OUTER.bbox
+
+    def test_edges_count(self):
+        assert len(list(COURTYARD.edges())) == 8
+
+
+class TestMultipolygonParsing:
+    def test_relation_parsed(self):
+        doc = parse_osm_xml(MULTIPOLYGON_XML)
+        assert len(doc.relations) == 1
+        relation = doc.relations[0]
+        assert relation.is_multipolygon_building()
+        assert relation.outer_way_refs() == [10]
+        assert relation.inner_way_refs() == [11]
+
+    def test_footprint_has_hole(self):
+        doc = parse_osm_xml(MULTIPOLYGON_XML)
+        fps = buildings_from_document(doc, projection=PROJ)
+        assert len(fps) == 1
+        fp = fps[0]
+        assert fp.osm_id == RELATION_ID_OFFSET + 77
+        assert isinstance(fp.polygon, PolygonWithHoles)
+        assert len(fp.polygon.holes) == 1
+        # Area strictly below the outer ring's.
+        assert fp.polygon.area() < fp.polygon.outer.area()
+
+    def test_courtyard_building_in_city(self):
+        doc = parse_osm_xml(MULTIPOLYGON_XML)
+        fps = buildings_from_document(doc, projection=PROJ)
+        city = city_from_footprints("courtyards", fps)
+        building = city.buildings[0]
+        centre_of_hole = building.polygon.holes[0].centroid()
+        assert city.building_containing(centre_of_hole) is None
+
+    def test_ap_placement_avoids_courtyard(self):
+        from repro.mesh import place_aps
+
+        doc = parse_osm_xml(MULTIPOLYGON_XML)
+        fps = buildings_from_document(doc, projection=PROJ)
+        city = city_from_footprints("courtyards", fps)
+        aps = place_aps(city, density=1 / 20, rng=random.Random(0))
+        assert aps
+        hole = city.buildings[0].polygon.holes[0]
+        for ap in aps:
+            assert not (
+                hole.contains(ap.position)
+                and hole.distance_to_point(ap.position) > 1e-6
+            )
+
+    def test_multi_outer_relation_skipped(self):
+        xml = MULTIPOLYGON_XML.replace(
+            '<member type="way" ref="10" role="outer"/>',
+            '<member type="way" ref="10" role="outer"/>'
+            '<member type="way" ref="11" role="outer"/>',
+        )
+        doc = parse_osm_xml(xml)
+        assert buildings_from_document(doc, projection=PROJ) == []
+
+    def test_untagged_relation_ignored(self):
+        xml = MULTIPOLYGON_XML.replace('<tag k="building" v="yes"/>', "")
+        doc = parse_osm_xml(xml)
+        assert buildings_from_document(doc, projection=PROJ) == []

@@ -1,0 +1,218 @@
+"""Tests for AP placement, the AP graph, islands, and bridge planning."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.city import Building, City, make_city, river_city
+from repro.geometry import Point, Polygon
+from repro.mesh import (
+    APGraph,
+    AccessPoint,
+    apply_bridges,
+    bridge_all_islands,
+    closest_gap,
+    find_islands,
+    place_aps,
+    plan_bridge,
+)
+
+
+def line_of_aps(xs, building_id=1):
+    return [AccessPoint(i, Point(x, 0.0), building_id) for i, x in enumerate(xs)]
+
+
+def two_building_city(gap: float):
+    """Two 20x20 buildings separated by ``gap`` metres edge to edge."""
+    return City(
+        "pair",
+        [
+            Building(1, Polygon.rectangle(0, 0, 20, 20)),
+            Building(2, Polygon.rectangle(20 + gap, 0, 40 + gap, 20)),
+        ],
+    )
+
+
+class TestPlacement:
+    def test_density_validation(self):
+        with pytest.raises(ValueError):
+            place_aps(two_building_city(10), density=0)
+
+    def test_expected_count_scales_with_density(self):
+        city = two_building_city(10)  # total building area 800 m2
+        rng = random.Random(0)
+        aps = place_aps(city, density=1 / 40, rng=rng)  # expect ~20
+        assert 10 <= len(aps) <= 30
+
+    def test_aps_inside_their_building(self):
+        city = make_city("gridport", seed=0)
+        aps = place_aps(city, rng=random.Random(0))
+        for ap in aps[:200]:
+            assert city.building(ap.building_id).polygon.contains(ap.position)
+
+    def test_ids_contiguous(self):
+        city = make_city("gridport", seed=0)
+        aps = place_aps(city, rng=random.Random(0))
+        assert [ap.id for ap in aps] == list(range(len(aps)))
+
+    def test_deterministic_with_seed(self):
+        city = two_building_city(10)
+        a = place_aps(city, rng=random.Random(7))
+        b = place_aps(city, rng=random.Random(7))
+        assert a == b
+
+    def test_fractional_expectation(self):
+        """A building smaller than 1/density still gets APs sometimes."""
+        city = City("small", [Building(1, Polygon.rectangle(0, 0, 10, 10))])  # 100 m2
+        total = 0
+        for seed in range(200):
+            total += len(place_aps(city, density=1 / 200, rng=random.Random(seed)))
+        # Expectation is 0.5 per trial -> ~100 out of 200.
+        assert 60 <= total <= 140
+
+
+class TestAPGraph:
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            APGraph(aps=[], transmission_range=0)
+
+    def test_noncontiguous_ids_rejected(self):
+        with pytest.raises(ValueError):
+            APGraph(aps=[AccessPoint(5, Point(0, 0), 1)])
+
+    def test_adjacency_unit_disk(self):
+        g = APGraph(line_of_aps([0, 40, 80, 200]), transmission_range=50)
+        assert set(g.neighbors(0)) == {1}
+        assert set(g.neighbors(1)) == {0, 2}
+        assert g.neighbors(3) == []
+        assert g.degree(1) == 2
+
+    def test_edge_count(self):
+        g = APGraph(line_of_aps([0, 40, 80]), transmission_range=50)
+        assert g.edge_count() == 2
+
+    def test_inclusive_range_boundary(self):
+        g = APGraph(line_of_aps([0, 50]), transmission_range=50)
+        assert g.neighbors(0) == [1]
+
+    def test_hop_distance(self):
+        g = APGraph(line_of_aps([0, 40, 80, 120]), transmission_range=50)
+        assert g.hop_distance(0, 0) == 0
+        assert g.hop_distance(0, 3) == 3
+        g2 = APGraph(line_of_aps([0, 40, 200]), transmission_range=50)
+        assert g2.hop_distance(0, 2) is None
+
+    def test_shortest_path(self):
+        g = APGraph(line_of_aps([0, 40, 80, 120]), transmission_range=50)
+        assert g.shortest_path(0, 3) == [0, 1, 2, 3]
+        assert g.shortest_path(2, 2) == [2]
+        g2 = APGraph(line_of_aps([0, 200]), transmission_range=50)
+        assert g2.shortest_path(0, 1) is None
+
+    def test_min_hops_to_building(self):
+        aps = [
+            AccessPoint(0, Point(0, 0), 1),
+            AccessPoint(1, Point(40, 0), 1),
+            AccessPoint(2, Point(80, 0), 2),
+        ]
+        g = APGraph(aps, transmission_range=50)
+        assert g.min_hops_to_building(0, 2) == 2
+        assert g.min_hops_to_building(2, 2) == 0
+        assert g.min_hops_to_building(0, 99) is None
+
+    def test_components(self):
+        g = APGraph(line_of_aps([0, 40, 200, 240, 280]), transmission_range=50)
+        comps = g.components()
+        assert [len(c) for c in comps] == [3, 2]
+
+    def test_buildings_reachable(self):
+        aps = [
+            AccessPoint(0, Point(0, 0), 1),
+            AccessPoint(1, Point(40, 0), 2),
+            AccessPoint(2, Point(500, 0), 3),
+        ]
+        g = APGraph(aps, transmission_range=50)
+        assert g.buildings_reachable(1, 2)
+        assert not g.buildings_reachable(1, 3)
+        assert not g.buildings_reachable(1, 99)
+
+    def test_aps_within(self):
+        g = APGraph(line_of_aps([0, 100]), transmission_range=50)
+        assert g.aps_within(Point(10, 0), 20) == [0]
+
+    @given(st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False),
+                    min_size=2, max_size=30, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_adjacency_symmetric(self, xs):
+        g = APGraph(line_of_aps(sorted(xs)), transmission_range=60)
+        for ap in g.aps:
+            for n in g.neighbors(ap.id):
+                assert ap.id in g.neighbors(n)
+
+
+class TestIslands:
+    def test_find_islands_ordering(self):
+        g = APGraph(line_of_aps([0, 40, 80, 500, 540]), transmission_range=50)
+        islands = find_islands(g)
+        assert [i.size for i in islands] == [3, 2]
+
+    def test_min_size_filter(self):
+        g = APGraph(line_of_aps([0, 40, 80, 500]), transmission_range=50)
+        islands = find_islands(g, min_size=2)
+        assert len(islands) == 1
+
+    def test_island_building_ids(self):
+        aps = [AccessPoint(0, Point(0, 0), 7), AccessPoint(1, Point(40, 0), 8)]
+        g = APGraph(aps, transmission_range=50)
+        assert find_islands(g)[0].building_ids == frozenset({7, 8})
+
+    def test_closest_gap(self):
+        g = APGraph(line_of_aps([0, 40, 300, 340]), transmission_range=50)
+        islands = find_islands(g)
+        a, b, d = closest_gap(g, islands[0], islands[1])
+        assert {a, b} == {1, 2}
+        assert d == pytest.approx(260)
+
+    def test_plan_bridge_chain_spacing(self):
+        g = APGraph(line_of_aps([0, 40, 300, 340]), transmission_range=50)
+        islands = find_islands(g)
+        plan = plan_bridge(g, islands[0], islands[1])
+        assert plan.ap_count >= 5
+        # Consecutive chain positions must be within range.
+        pts = [g.position(plan.from_ap), *plan.new_positions, g.position(plan.to_ap)]
+        for p, q in zip(pts, pts[1:]):
+            assert p.distance_to(q) <= 50 + 1e-9
+
+    def test_plan_bridge_already_connected_gap(self):
+        g = APGraph(line_of_aps([0, 40, 95, 135]), transmission_range=50)
+        islands = find_islands(g)
+        # Gap of 55 m: one AP graph break but no new APs needed? 55 > 50,
+        # so exactly one intermediate AP should appear.
+        plan = plan_bridge(g, islands[0], islands[1])
+        assert plan.ap_count == 1
+
+    def test_plan_bridge_spacing_validation(self):
+        g = APGraph(line_of_aps([0, 200]), transmission_range=50)
+        islands = find_islands(g)
+        with pytest.raises(ValueError):
+            plan_bridge(g, islands[0], islands[1], spacing_factor=0)
+
+    def test_bridge_all_islands_end_to_end(self):
+        """Bridging a river city reconnects the two banks."""
+        city = river_city(seed=2, bridges=0, blocks_x=5, blocks_y=5)
+        aps = place_aps(city, rng=random.Random(2))
+        g = APGraph(aps)
+        before = g.components()
+        assert len(before) >= 2
+        plans, new_aps = bridge_all_islands(g, min_island_size=5)
+        assert plans and new_aps
+        bridged = apply_bridges(g, new_aps)
+        comps_after = [c for c in bridged.components() if len(c) >= 5]
+        assert len(comps_after) == 1
+
+    def test_bridge_all_islands_noop_when_connected(self):
+        g = APGraph(line_of_aps([0, 40, 80]), transmission_range=50)
+        plans, new_aps = bridge_all_islands(g)
+        assert plans == [] and new_aps == []

@@ -1,0 +1,104 @@
+"""End-to-end OSM pipeline: synthetic city -> OSM XML -> parsed city.
+
+Exercises the full "compiles building footprint data from OSM" path:
+a generated city is serialised to OSM XML, parsed back through the
+real parser, and the reconstructed city must route equivalently.
+"""
+
+import random
+
+import pytest
+
+from repro.city import city_from_footprints, grid_downtown
+from repro.core import BuildingRouter
+from repro.mesh import APGraph, place_aps
+from repro.osm import (
+    LocalProjection,
+    buildings_from_document,
+    parse_osm_xml,
+    polygons_to_osm_xml,
+)
+
+PROJECTION = LocalProjection(42.36, -71.06)
+
+
+@pytest.fixture(scope="module")
+def roundtripped():
+    original = grid_downtown(seed=5, blocks_x=4, blocks_y=4)
+    xml = polygons_to_osm_xml((b.polygon for b in original.buildings), PROJECTION)
+    doc = parse_osm_xml(xml)
+    footprints = buildings_from_document(doc, projection=PROJECTION)
+    rebuilt = city_from_footprints("roundtrip", footprints)
+    return original, rebuilt
+
+
+class TestRoundtrip:
+    def test_building_count_preserved(self, roundtripped):
+        original, rebuilt = roundtripped
+        assert len(rebuilt) == len(original)
+
+    def test_total_area_preserved(self, roundtripped):
+        original, rebuilt = roundtripped
+        assert rebuilt.total_building_area() == pytest.approx(
+            original.total_building_area(), rel=1e-4
+        )
+
+    def test_centroids_preserved(self, roundtripped):
+        original, rebuilt = roundtripped
+        orig_centroids = sorted(
+            (round(b.centroid().x, 1), round(b.centroid().y, 1))
+            for b in original.buildings
+        )
+        new_centroids = sorted(
+            (round(b.centroid().x, 1), round(b.centroid().y, 1))
+            for b in rebuilt.buildings
+        )
+        assert orig_centroids == new_centroids
+
+    def test_routing_works_on_rebuilt_city(self, roundtripped):
+        _, rebuilt = roundtripped
+        router = BuildingRouter(rebuilt)
+        ids = [b.id for b in rebuilt.buildings]
+        plan = router.plan(ids[0], ids[-1])
+        assert len(plan.route) >= 2
+        assert plan.waypoint_ids[0] == ids[0]
+
+    def test_end_to_end_delivery_on_rebuilt_city(self, roundtripped):
+        from repro.sim import ConduitPolicy, simulate_broadcast
+
+        _, rebuilt = roundtripped
+        aps = place_aps(rebuilt, rng=random.Random(5))
+        graph = APGraph(aps)
+        router = BuildingRouter(rebuilt)
+        ids = [b.id for b in rebuilt.buildings if graph.aps_in_building(b.id)]
+        plan = router.plan(ids[0], ids[-1])
+        result = simulate_broadcast(
+            graph,
+            graph.aps_in_building(ids[0])[0],
+            ids[-1],
+            ConduitPolicy(plan.conduits, rebuilt),
+            random.Random(5),
+        )
+        assert result.transmissions > 0
+
+    def test_route_equivalence(self, roundtripped):
+        """The rebuilt map plans the same building routes (by centroid)."""
+        original, rebuilt = roundtripped
+        orig_router = BuildingRouter(original)
+        new_router = BuildingRouter(rebuilt)
+        # Map original ids to rebuilt ids via centroids.
+        by_centroid = {
+            (round(b.centroid().x, 1), round(b.centroid().y, 1)): b.id
+            for b in rebuilt.buildings
+        }
+        orig_ids = [b.id for b in original.buildings]
+        src_o, dst_o = orig_ids[0], orig_ids[-1]
+        orig_plan = orig_router.plan(src_o, dst_o)
+
+        def rebuilt_id(orig_id):
+            c = original.building(orig_id).centroid()
+            return by_centroid[(round(c.x, 1), round(c.y, 1))]
+
+        new_plan = new_router.plan(rebuilt_id(src_o), rebuilt_id(dst_o))
+        assert len(new_plan.route) == len(orig_plan.route)
+        assert [rebuilt_id(b) for b in orig_plan.route] == list(new_plan.route)

@@ -1,0 +1,243 @@
+"""Tests for names, sealed messages, postboxes, and the messaging service."""
+
+import random
+
+import pytest
+
+from repro.city import make_city
+from repro.core import BuildingRouter
+from repro.geometry import Point
+from repro.mesh import APGraph, place_aps
+from repro.postbox import (
+    KeyPair,
+    MessageFormatError,
+    MessagingService,
+    Participant,
+    Postbox,
+    PostboxAddress,
+    PushPreferences,
+    name_of,
+    open_message,
+    seal,
+    verify_name,
+)
+
+RNG = random.Random(99)
+ALICE = KeyPair.generate(RNG, bits=512)
+BOB = KeyPair.generate(RNG, bits=512)
+BOB_ADDR = PostboxAddress.for_key(BOB.public, building_id=42)
+
+
+class TestNames:
+    def test_name_deterministic(self):
+        assert name_of(BOB.public) == name_of(BOB.public)
+
+    def test_name_length(self):
+        assert len(name_of(BOB.public)) == 32  # 16 bytes hex
+
+    def test_verify_name(self):
+        assert verify_name(BOB.public, name_of(BOB.public))
+        assert not verify_name(ALICE.public, name_of(BOB.public))
+
+    def test_address_self_check(self):
+        with pytest.raises(ValueError):
+            PostboxAddress(name="00" * 16, public_key=BOB.public, building_id=1)
+
+    def test_address_roundtrip(self):
+        data = BOB_ADDR.to_bytes()
+        parsed = PostboxAddress.from_bytes(data)
+        assert parsed == BOB_ADDR
+
+    def test_address_truncated(self):
+        data = BOB_ADDR.to_bytes()
+        with pytest.raises(ValueError):
+            PostboxAddress.from_bytes(data[:5])
+        with pytest.raises(ValueError):
+            PostboxAddress.from_bytes(data[:-2])
+
+
+class TestSealedMessages:
+    def test_roundtrip(self):
+        rng = random.Random(1)
+        sealed = seal(ALICE, BOB_ADDR, b"meet at the bridge", rng)
+        opened = open_message(BOB, sealed)
+        assert opened.plaintext == b"meet at the bridge"
+        assert opened.sender_name == name_of(ALICE.public)
+
+    def test_empty_plaintext(self):
+        rng = random.Random(1)
+        sealed = seal(ALICE, BOB_ADDR, b"", rng)
+        assert open_message(BOB, sealed).plaintext == b""
+
+    def test_wrong_recipient_cannot_open(self):
+        rng = random.Random(1)
+        mallory = KeyPair.generate(random.Random(7), bits=512)
+        sealed = seal(ALICE, BOB_ADDR, b"secret", rng)
+        with pytest.raises(MessageFormatError):
+            open_message(mallory, sealed)
+
+    @pytest.mark.parametrize("position", [0, 10, 80, -40, -1])
+    def test_tampering_detected(self, position):
+        rng = random.Random(1)
+        sealed = bytearray(seal(ALICE, BOB_ADDR, b"integrity matters", rng))
+        sealed[position] ^= 0x01
+        with pytest.raises(MessageFormatError):
+            open_message(BOB, bytes(sealed))
+
+    def test_truncation_detected(self):
+        rng = random.Random(1)
+        sealed = seal(ALICE, BOB_ADDR, b"hello", rng)
+        with pytest.raises(MessageFormatError):
+            open_message(BOB, sealed[: len(sealed) // 2])
+
+    def test_sender_is_authenticated(self):
+        """A message re-signed by Mallory must not read as Alice's."""
+        rng = random.Random(1)
+        mallory = KeyPair.generate(random.Random(7), bits=512)
+        sealed = seal(mallory, BOB_ADDR, b"pretending", rng)
+        opened = open_message(BOB, sealed)
+        assert opened.sender_name != name_of(ALICE.public)
+        assert opened.sender_name == name_of(mallory.public)
+
+
+class TestPostbox:
+    def test_deliver_and_check(self):
+        box = Postbox(owner_name="bob")
+        assert box.deliver(b"msg1", now_s=0.0)
+        assert box.pending_count() == 1
+        got = box.check(now_s=1.0, location=Point(0, 0))
+        assert [m.sealed for m in got] == [b"msg1"]
+        assert box.pending_count() == 0
+
+    def test_capacity(self):
+        box = Postbox(owner_name="bob", capacity=2)
+        assert box.deliver(b"1", 0.0)
+        assert box.deliver(b"2", 0.0)
+        assert not box.deliver(b"3", 0.0)
+
+    def test_retention_expiry(self):
+        box = Postbox(owner_name="bob", retention_s=100.0)
+        box.deliver(b"old", now_s=0.0)
+        box.deliver(b"new", now_s=90.0)
+        got = box.check(now_s=150.0, location=Point(0, 0))
+        assert [m.sealed for m in got] == [b"new"]
+
+    def test_push_requires_known_location(self):
+        box = Postbox(owner_name="bob")
+        box.deliver(b"urgent!", now_s=0.0, urgent=True)
+        assert box.pushed == []  # no cached location yet
+        box.check(now_s=1.0, location=Point(5, 5))
+        box.deliver(b"urgent2", now_s=2.0, urgent=True)
+        assert len(box.pushed) == 1
+        assert box.last_known_location == Point(5, 5)
+
+    def test_push_preferences(self):
+        box = Postbox(owner_name="bob", preferences=PushPreferences(push_urgent=False))
+        box.check(now_s=0.0, location=Point(0, 0))
+        box.deliver(b"urgent", now_s=1.0, urgent=True)
+        assert box.pushed == []
+        box.preferences.push_all = True
+        box.deliver(b"normal", now_s=2.0)
+        assert len(box.pushed) == 1
+
+
+class TestMessagingService:
+    @pytest.fixture(scope="class")
+    def service_world(self):
+        city = make_city("gridport", seed=4)
+        aps = place_aps(city, rng=random.Random(4))
+        graph = APGraph(aps)
+        router = BuildingRouter(city)
+        service = MessagingService(
+            city=city, graph=graph, router=router, rng=random.Random(4)
+        )
+        return city, graph, service
+
+    def test_end_to_end_message(self, service_world):
+        city, graph, service = service_world
+        ids = [b.id for b in city.buildings if graph.aps_in_building(b.id)]
+        rng = random.Random(11)
+        alice = Participant.create(ids[0], rng)
+        bob = Participant.create(ids[-1], rng)
+        report = service.send(
+            alice, bob.address, bob.postbox, b"Are you safe?", urgent=True
+        )
+        assert report.delivered
+        assert report.route_bits is not None
+        messages = MessagingService.retrieve(
+            bob, now_s=100.0, location=city.building(ids[-1]).centroid()
+        )
+        assert len(messages) == 1
+        assert messages[0].plaintext == b"Are you safe?"
+        assert messages[0].sender_name == alice.address.name
+
+    def test_send_without_route_reports_failure(self, service_world):
+        city, graph, service = service_world
+        ids = [b.id for b in city.buildings if graph.aps_in_building(b.id)]
+        rng = random.Random(12)
+        alice = Participant.create(ids[0], rng)
+        ghost = Participant.create(999_999, rng)  # building not in the map
+        report = service.send(alice, ghost.address, ghost.postbox, b"hello?")
+        assert not report.delivered
+        assert report.transmissions == 0
+
+    def test_corrupted_stored_message_skipped(self, service_world):
+        city, graph, service = service_world
+        ids = [b.id for b in city.buildings if graph.aps_in_building(b.id)]
+        rng = random.Random(13)
+        bob = Participant.create(ids[0], rng)
+        bob.postbox.deliver(b"garbage-not-a-message", now_s=0.0)
+        messages = MessagingService.retrieve(bob, now_s=1.0, location=Point(0, 0))
+        assert messages == []
+
+
+class TestPushDelivery:
+    @pytest.fixture(scope="class")
+    def service_world(self):
+        city = make_city("gridport", seed=4)
+        aps = place_aps(city, rng=random.Random(4))
+        graph = APGraph(aps)
+        router = BuildingRouter(city)
+        service = MessagingService(
+            city=city, graph=graph, router=router, rng=random.Random(4)
+        )
+        return city, graph, service
+
+    def test_push_forwarded_to_cached_location(self, service_world):
+        city, graph, service = service_world
+        ids = [b.id for b in city.buildings if graph.aps_in_building(b.id)]
+        rng = random.Random(21)
+        alice = Participant.create(ids[1], rng)
+        bob = Participant.create(ids[-1], rng)
+        # Bob checks in once from across town, caching his location.
+        away = city.building(ids[len(ids) // 2]).centroid()
+        bob.postbox.check(now_s=0.0, location=away)
+        # Alice sends something urgent.
+        report = service.send(alice, bob.address, bob.postbox, b"urgent!", urgent=True)
+        assert report.delivered
+        assert len(bob.postbox.pushed) == 1
+        # The postbox pushes towards Bob's cached location.
+        push_reports = service.deliver_pushes(bob)
+        assert len(push_reports) == 1
+        assert push_reports[0].delivered
+        assert bob.postbox.pushed == []  # consumed
+
+    def test_push_without_location_noop(self, service_world):
+        city, graph, service = service_world
+        ids = [b.id for b in city.buildings if graph.aps_in_building(b.id)]
+        rng = random.Random(22)
+        bob = Participant.create(ids[0], rng)
+        assert service.deliver_pushes(bob) == []
+
+    def test_push_to_home_building_is_free(self, service_world):
+        city, graph, service = service_world
+        ids = [b.id for b in city.buildings if graph.aps_in_building(b.id)]
+        rng = random.Random(23)
+        alice = Participant.create(ids[1], rng)
+        bob = Participant.create(ids[2], rng)
+        # Bob's cached location is his own postbox building.
+        bob.postbox.check(now_s=0.0, location=city.building(ids[2]).centroid())
+        service.send(alice, bob.address, bob.postbox, b"ping", urgent=True)
+        reports = service.deliver_pushes(bob)
+        assert reports and reports[0].delivered
+        assert reports[0].transmissions == 0

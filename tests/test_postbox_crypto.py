@@ -1,0 +1,152 @@
+"""Tests for the from-scratch crypto substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.postbox import (
+    KeyPair,
+    PublicKey,
+    encrypt_key,
+    mac_tag,
+    mac_verify,
+    symmetric_decrypt,
+    symmetric_encrypt,
+    verify,
+)
+from repro.postbox.crypto import _is_probable_prime, _random_prime
+
+RNG = random.Random(1234)
+KEYS = KeyPair.generate(RNG, bits=512)  # shared across tests: keygen is the slow part
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        rng = random.Random(0)
+        for p in [2, 3, 5, 7, 11, 97, 7919]:
+            assert _is_probable_prime(p, rng)
+
+    def test_small_composites(self):
+        rng = random.Random(0)
+        for c in [0, 1, 4, 9, 91, 561, 7917]:  # 561 is a Carmichael number
+            assert not _is_probable_prime(c, rng)
+
+    def test_random_prime_bit_length(self):
+        rng = random.Random(5)
+        p = _random_prime(64, rng)
+        assert p.bit_length() == 64
+        assert _is_probable_prime(p, rng)
+
+    def test_random_prime_too_small(self):
+        with pytest.raises(ValueError):
+            _random_prime(4, random.Random(0))
+
+
+class TestKeyGeneration:
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            KeyPair.generate(random.Random(0), bits=64)
+
+    def test_modulus_size(self):
+        assert 500 <= KEYS.public.n.bit_length() <= 512
+
+    def test_deterministic_given_rng(self):
+        a = KeyPair.generate(random.Random(9), bits=256)
+        b = KeyPair.generate(random.Random(9), bits=256)
+        assert a.public == b.public
+
+
+class TestPublicKeySerialisation:
+    def test_roundtrip(self):
+        data = KEYS.public.to_bytes()
+        assert PublicKey.from_bytes(data) == KEYS.public
+
+    def test_truncated(self):
+        data = KEYS.public.to_bytes()
+        with pytest.raises(ValueError):
+            PublicKey.from_bytes(data[:3])
+        with pytest.raises(ValueError):
+            PublicKey.from_bytes(data[:-1])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            PublicKey.from_bytes(b"")
+
+
+class TestSignatures:
+    def test_sign_verify(self):
+        sig = KEYS.sign(b"hello world")
+        assert verify(KEYS.public, b"hello world", sig)
+
+    def test_wrong_message_fails(self):
+        sig = KEYS.sign(b"hello")
+        assert not verify(KEYS.public, b"goodbye", sig)
+
+    def test_tampered_signature_fails(self):
+        sig = bytearray(KEYS.sign(b"hello"))
+        sig[0] ^= 1
+        assert not verify(KEYS.public, b"hello", bytes(sig))
+
+    def test_wrong_key_fails(self):
+        other = KeyPair.generate(random.Random(77), bits=512)
+        sig = KEYS.sign(b"hello")
+        assert not verify(other.public, b"hello", sig)
+
+    def test_wrong_length_fails(self):
+        sig = KEYS.sign(b"hello")
+        assert not verify(KEYS.public, b"hello", sig + b"\x00")
+
+
+class TestKeyTransport:
+    def test_roundtrip(self):
+        rng = random.Random(3)
+        session = bytes(range(32))
+        wrapped = encrypt_key(KEYS.public, session, rng)
+        assert KEYS.decrypt_key(wrapped) == session
+
+    def test_wrong_size_session_key(self):
+        with pytest.raises(ValueError):
+            encrypt_key(KEYS.public, b"short", random.Random(0))
+
+    def test_tampered_wrap_fails(self):
+        rng = random.Random(3)
+        wrapped = bytearray(encrypt_key(KEYS.public, bytes(32), rng))
+        wrapped[-1] ^= 0xFF
+        with pytest.raises(ValueError):
+            KEYS.decrypt_key(bytes(wrapped))
+
+
+class TestSymmetric:
+    def test_roundtrip(self):
+        key, nonce = b"k" * 32, b"n" * 16
+        ct = symmetric_encrypt(key, nonce, b"attack at dawn")
+        assert ct != b"attack at dawn"
+        assert symmetric_decrypt(key, nonce, ct) == b"attack at dawn"
+
+    def test_nonce_matters(self):
+        key = b"k" * 32
+        a = symmetric_encrypt(key, b"n1" * 8, b"message")
+        b = symmetric_encrypt(key, b"n2" * 8, b"message")
+        assert a != b
+
+    def test_empty_plaintext(self):
+        assert symmetric_encrypt(b"k" * 32, b"n" * 16, b"") == b""
+
+    @given(st.binary(max_size=500))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, plaintext):
+        key, nonce = b"K" * 32, b"N" * 16
+        assert symmetric_decrypt(key, nonce, symmetric_encrypt(key, nonce, plaintext)) == plaintext
+
+
+class TestMac:
+    def test_verify(self):
+        tag = mac_tag(b"key", b"data")
+        assert mac_verify(b"key", b"data", tag)
+
+    def test_reject_tamper(self):
+        tag = mac_tag(b"key", b"data")
+        assert not mac_verify(b"key", b"datax", tag)
+        assert not mac_verify(b"keyx", b"data", tag)

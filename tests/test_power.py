@@ -1,0 +1,126 @@
+"""Tests for the power/longevity model."""
+
+import random
+
+import pytest
+
+from repro.city import make_city
+from repro.geometry import Point
+from repro.mesh import (
+    APGraph,
+    AccessPoint,
+    PowerProfile,
+    PowerSource,
+    assign_power_profiles,
+    longevity_curve,
+    place_aps,
+    surviving_mesh,
+)
+
+
+class TestPowerProfile:
+    def test_none_dies_immediately(self):
+        p = PowerProfile(PowerSource.NONE)
+        assert p.alive_at(0.0)
+        assert not p.alive_at(0.1)
+
+    def test_battery_lifetime(self):
+        p = PowerProfile(PowerSource.BATTERY, battery_hours=8.0)
+        assert p.alive_at(0.0)
+        assert p.alive_at(8.0)
+        assert not p.alive_at(8.1)
+
+    def test_generator_forever(self):
+        p = PowerProfile(PowerSource.GENERATOR)
+        assert p.alive_at(1000.0)
+
+    def test_negative_time_raises(self):
+        with pytest.raises(ValueError):
+            PowerProfile(PowerSource.NONE).alive_at(-1)
+
+
+class TestAssignment:
+    def test_validation(self):
+        aps = [AccessPoint(0, Point(0, 0), 1)]
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            assign_power_profiles(aps, rng, battery_fraction=1.2)
+        with pytest.raises(ValueError):
+            assign_power_profiles(aps, rng, battery_fraction=0.8, generator_fraction=0.3)
+        with pytest.raises(ValueError):
+            assign_power_profiles(aps, rng, battery_hours_range=(0, 5))
+
+    def test_fractions_respected(self):
+        aps = [AccessPoint(i, Point(i, 0), 1) for i in range(2000)]
+        profiles = assign_power_profiles(
+            aps, random.Random(1), battery_fraction=0.5, generator_fraction=0.1
+        )
+        kinds = [p.source for p in profiles.values()]
+        gen = kinds.count(PowerSource.GENERATOR) / len(kinds)
+        bat = kinds.count(PowerSource.BATTERY) / len(kinds)
+        assert 0.07 < gen < 0.13
+        assert 0.45 < bat < 0.55
+
+    def test_battery_hours_in_range(self):
+        aps = [AccessPoint(i, Point(i, 0), 1) for i in range(500)]
+        profiles = assign_power_profiles(
+            aps, random.Random(2), battery_hours_range=(3.0, 6.0)
+        )
+        for p in profiles.values():
+            if p.source is PowerSource.BATTERY:
+                assert 3.0 <= p.battery_hours <= 6.0
+
+
+class TestSurvivingMesh:
+    def test_reindexing(self):
+        aps = [AccessPoint(i, Point(i * 40.0, 0), i + 1) for i in range(4)]
+        g = APGraph(aps, transmission_range=50)
+        profiles = {
+            0: PowerProfile(PowerSource.GENERATOR),
+            1: PowerProfile(PowerSource.NONE),
+            2: PowerProfile(PowerSource.GENERATOR),
+            3: PowerProfile(PowerSource.GENERATOR),
+        }
+        alive = surviving_mesh(g, profiles, hours_after_outage=1.0)
+        assert len(alive) == 3
+        assert [ap.id for ap in alive.aps] == [0, 1, 2]
+        # Building ids survive the re-indexing.
+        assert sorted(ap.building_id for ap in alive.aps) == [1, 3, 4]
+
+    def test_everyone_alive_at_zero(self):
+        aps = [AccessPoint(i, Point(i * 40.0, 0), i + 1) for i in range(3)]
+        g = APGraph(aps, transmission_range=50)
+        profiles = {i: PowerProfile(PowerSource.NONE) for i in range(3)}
+        assert len(surviving_mesh(g, profiles, 0.0)) == 3
+
+
+class TestLongevityCurve:
+    def test_monotone_decline(self):
+        city = make_city("gridport", seed=3)
+        g = APGraph(place_aps(city, rng=random.Random(3)))
+        profiles = assign_power_profiles(g.aps, random.Random(3))
+        points = longevity_curve(
+            g, profiles, hours=(0.0, 12.0, 48.0), pairs=40, rng=random.Random(3)
+        )
+        alive = [p.alive_fraction for p in points]
+        reach = [p.reachability for p in points]
+        assert alive == sorted(alive, reverse=True)
+        assert reach == sorted(reach, reverse=True)
+        assert points[0].reachability > 0.95  # intact at t=0
+
+    def test_redundancy_buffers_early_loss(self):
+        """Early battery attrition must not collapse reachability: the
+        mesh has far more APs than strictly needed (the §2 density
+        argument)."""
+        city = make_city("gridport", seed=3)
+        g = APGraph(place_aps(city, rng=random.Random(3)))
+        profiles = assign_power_profiles(
+            g.aps, random.Random(3), battery_fraction=0.6,
+            battery_hours_range=(6.0, 30.0),
+        )
+        points = longevity_curve(
+            g, profiles, hours=(0.0, 4.0), pairs=40, rng=random.Random(4)
+        )
+        at_4h = points[1]
+        assert at_4h.alive_fraction < 0.8   # real attrition happened...
+        assert at_4h.reachability > 0.8     # ...but the mesh held

@@ -1,0 +1,60 @@
+"""Regression tests for specific bugs found during development."""
+
+import random
+
+from repro.city import make_city
+from repro.geometry import GridIndex, Point
+from repro.mesh import APGraph, AccessPoint, place_aps
+
+
+class TestDenormalUnderflow:
+    def test_radius_zero_excludes_denormal_offset(self):
+        """Squared distances underflow for denormal offsets; the index
+        must match Point.distance_to semantics exactly."""
+        idx = GridIndex(1.0)
+        idx.insert("p", Point(0.0, 8.3e-186))
+        assert idx.query_radius(Point(0.0, 0.0), 0.0) == []
+        assert idx.query_radius(Point(0.0, 0.0), 1e-185) == ["p"]
+
+
+class TestComponentCache:
+    def test_component_ids_consistent_with_bfs(self):
+        city = make_city("riverton", seed=1)
+        g = APGraph(place_aps(city, rng=random.Random(1)))
+        labels = g.component_ids()
+        # Same label <=> mutually reachable (checked on a sample).
+        rng = random.Random(2)
+        for _ in range(20):
+            u = rng.randrange(len(g.aps))
+            v = rng.randrange(len(g.aps))
+            same = labels[u] == labels[v]
+            assert same == (v in g.component_of(u))
+
+    def test_cache_is_stable_across_calls(self):
+        g = APGraph([AccessPoint(0, Point(0, 0), 1), AccessPoint(1, Point(40, 0), 2)])
+        assert g.component_ids() is g.component_ids()
+
+    def test_new_graph_gets_fresh_cache(self):
+        """apply_bridges builds a new APGraph, so the cache never goes
+        stale — verify the new graph recomputes."""
+        from repro.mesh import apply_bridges, bridge_all_islands
+
+        city = make_city("riverton", seed=2)
+        g = APGraph(place_aps(city, rng=random.Random(2)))
+        before = len(set(g.component_ids()))
+        _, new_aps = bridge_all_islands(g, min_island_size=5)
+        bridged = apply_bridges(g, new_aps)
+        after = len(set(bridged.component_ids()))
+        assert after < before  # islands merged
+        # The original graph's cache is untouched.
+        assert len(set(g.component_ids())) == before
+
+
+class TestBridgeStructuresKeepDeliberateAps:
+    def test_pontsville_banks_connected(self):
+        """The bridge kiosk bug: randomly placed APs left >range gaps
+        along bridges; deliberate spacing must keep the banks joined."""
+        city = make_city("pontsville", seed=1)
+        g = APGraph(place_aps(city, rng=random.Random(1)))
+        comps = g.components()
+        assert len(comps[0]) / len(g.aps) > 0.95

@@ -1,0 +1,107 @@
+"""Property-based tests for end-to-end routing invariants.
+
+Hypothesis generates random linear-ish cities (rows of buildings with
+varying sizes and gaps) and checks the invariants that every CityMesh
+route must satisfy regardless of geometry.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.buildgraph import NoRouteError
+from repro.city import Building, City
+from repro.core import BuildingRouter, decode_header
+from repro.geometry import Polygon
+
+# A building spec: (width, height, gap to the previous building).
+building_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=10, max_value=60, allow_nan=False),
+        st.floats(min_value=10, max_value=60, allow_nan=False),
+        st.floats(min_value=2, max_value=35, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=12,
+)
+
+
+def build_row_city(specs) -> City:
+    buildings = []
+    x = 0.0
+    for i, (w, h, gap) in enumerate(specs):
+        x += gap
+        buildings.append(Building(i + 1, Polygon.rectangle(x, 0, x + w, h)))
+        x += w
+    return City("prop", buildings)
+
+
+class TestRouterProperties:
+    @given(building_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_route_invariants(self, specs):
+        city = build_row_city(specs)
+        router = BuildingRouter(city)
+        src = city.buildings[0].id
+        dst = city.buildings[-1].id
+        try:
+            plan = router.plan(src, dst)
+        except NoRouteError:
+            # Gaps beyond the effective range legitimately split the row.
+            return
+        # Endpoints.
+        assert plan.route[0] == src
+        assert plan.route[-1] == dst
+        # Waypoints are a subsequence of the route.
+        route_positions = {b: i for i, b in enumerate(plan.route)}
+        indices = [route_positions[w] for w in plan.waypoint_ids]
+        assert indices == sorted(indices)
+        assert plan.waypoint_ids[0] == src
+        assert plan.waypoint_ids[-1] == dst
+        # Consecutive route hops are building-graph edges.
+        for a, b in zip(plan.route, plan.route[1:]):
+            assert b in router.graph.neighbors(a)
+        # The conduit region covers every route building's centroid.
+        for b in plan.route:
+            assert plan.conduits.contains(router.graph.centroid(b))
+
+    @given(building_specs, st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_header_roundtrip_through_wire(self, specs, message_id):
+        city = build_row_city(specs)
+        router = BuildingRouter(city)
+        try:
+            plan = router.plan(
+                city.buildings[0].id, city.buildings[-1].id, message_id=message_id
+            )
+        except NoRouteError:
+            return
+        header = decode_header(plan.header_bytes)
+        assert header.waypoints == plan.waypoint_ids
+        assert header.message_id == message_id
+        assert header.width_m == round(router.conduit_width)
+
+    @given(building_specs)
+    @settings(max_examples=30, deadline=None)
+    def test_compression_never_grows(self, specs):
+        city = build_row_city(specs)
+        router = BuildingRouter(city)
+        try:
+            plan = router.plan(city.buildings[0].id, city.buildings[-1].id)
+        except NoRouteError:
+            return
+        assert len(plan.waypoint_ids) <= len(plan.route)
+
+    @given(building_specs)
+    @settings(max_examples=30, deadline=None)
+    def test_plan_is_deterministic(self, specs):
+        city = build_row_city(specs)
+        router_a = BuildingRouter(city)
+        router_b = BuildingRouter(city)
+        try:
+            plan_a = router_a.plan(city.buildings[0].id, city.buildings[-1].id)
+            plan_b = router_b.plan(city.buildings[0].id, city.buildings[-1].id)
+        except NoRouteError:
+            return
+        assert plan_a.route == plan_b.route
+        assert plan_a.waypoint_ids == plan_b.waypoint_ids

@@ -1,0 +1,53 @@
+"""Tests for the §5 scaling model."""
+
+import pytest
+
+from repro.experiments import control_load, format_scaling, run_scaling
+
+
+class TestScalingModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            control_load(0)
+
+    def test_citymesh_zero_control(self):
+        for n in (100, 10_000, 1_000_000):
+            assert control_load(n).citymesh_bytes_per_min == 0.0
+
+    def test_dsdv_linear_growth(self):
+        small = control_load(1_000)
+        large = control_load(10_000)
+        assert large.dsdv_bytes_per_min == pytest.approx(
+            10 * small.dsdv_bytes_per_min
+        )
+
+    def test_aodv_grows_with_network(self):
+        small = control_load(1_000)
+        large = control_load(100_000)
+        assert large.aodv_bytes_per_min > small.aodv_bytes_per_min * 50
+
+    def test_olsr_dominated_by_tc_at_scale(self):
+        huge = control_load(1_000_000)
+        # At city scale the constant HELLO term is negligible.
+        assert huge.olsr_bytes_per_min > 1e6
+
+    def test_map_cache_modest_even_at_metro_scale(self):
+        """The map a device must cache stays phone-sized (§2: 'today's
+        devices can easily cache the data necessary')."""
+        metro = control_load(1_000_000)
+        assert metro.citymesh_map_cache_mb < 50
+
+    def test_run_scaling_rows(self):
+        rows = run_scaling(sizes=(1_000, 10_000))
+        assert [r.nodes for r in rows] == [1_000, 10_000]
+
+    def test_format(self):
+        out = format_scaling(run_scaling(sizes=(1_000,)))
+        assert "scaling" in out
+        assert "DSDV" in out
+
+    def test_citymesh_wins_everywhere(self):
+        for row in run_scaling():
+            assert row.citymesh_bytes_per_min < row.dsdv_bytes_per_min
+            assert row.citymesh_bytes_per_min < row.olsr_bytes_per_min
+            assert row.citymesh_bytes_per_min < row.aodv_bytes_per_min

@@ -1,0 +1,253 @@
+"""Tests for radio models and the broadcast simulation."""
+
+import random
+
+import pytest
+
+from repro.city import Building, City
+from repro.core import BuildingRouter, ConduitMembership
+from repro.geometry import ConduitPath, ConduitRect, Point, Polygon
+from repro.mesh import APGraph, AccessPoint
+from repro.sim import (
+    ConduitPolicy,
+    FadingDetection,
+    FloodPolicy,
+    GossipPolicy,
+    LossyRadio,
+    SimParams,
+    UnitDiskRadio,
+    simulate_broadcast,
+    transmission_overhead,
+)
+from repro.sim.broadcast import PositionConduitPolicy
+
+
+def chain_graph(n=5, spacing=40.0):
+    """n APs in a line, one per building, each hearing its neighbours."""
+    aps = [AccessPoint(i, Point(i * spacing, 0.0), i + 1) for i in range(n)]
+    return APGraph(aps, transmission_range=50)
+
+
+def chain_city(n=5, spacing=40.0):
+    buildings = [
+        Building(i + 1, Polygon.rectangle(i * spacing - 5, -5, i * spacing + 5, 5))
+        for i in range(n)
+    ]
+    return City("chain", buildings)
+
+
+class TestRadios:
+    def test_unit_disk_validation(self):
+        with pytest.raises(ValueError):
+            UnitDiskRadio(tx_delay_s=0)
+
+    def test_unit_disk_all_receive(self):
+        radio = UnitDiskRadio()
+        recs = radio.receptions([1, 2, 3], random.Random(0))
+        assert [r.receiver_id for r in recs] == [1, 2, 3]
+        assert all(r.delay_s == radio.tx_delay_s for r in recs)
+
+    def test_lossy_validation(self):
+        with pytest.raises(ValueError):
+            LossyRadio(loss_probability=1.0)
+        with pytest.raises(ValueError):
+            LossyRadio(loss_probability=-0.1)
+
+    def test_lossy_zero_loss_is_unit_disk(self):
+        radio = LossyRadio(loss_probability=0.0)
+        assert len(radio.receptions(list(range(10)), random.Random(0))) == 10
+
+    def test_lossy_drops_some(self):
+        radio = LossyRadio(loss_probability=0.5)
+        rng = random.Random(0)
+        total = sum(len(radio.receptions(list(range(100)), rng)) for _ in range(10))
+        assert 350 < total < 650
+
+    def test_fading_validation(self):
+        with pytest.raises(ValueError):
+            FadingDetection(0, 10)
+        with pytest.raises(ValueError):
+            FadingDetection(10, 10)
+
+    def test_fading_probability_shape(self):
+        f = FadingDetection(reliable_range=30, max_range=100)
+        assert f.detection_probability(0) == 1.0
+        assert f.detection_probability(30) == 1.0
+        assert f.detection_probability(100) == 0.0
+        assert f.detection_probability(200) == 0.0
+        mid = f.detection_probability(65)
+        assert 0.4 < mid < 0.6
+        with pytest.raises(ValueError):
+            f.detection_probability(-1)
+
+    def test_fading_monotone(self):
+        f = FadingDetection(reliable_range=30, max_range=100)
+        probs = [f.detection_probability(d) for d in range(0, 120, 5)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_fading_detects_sampling(self):
+        f = FadingDetection(reliable_range=30, max_range=100)
+        rng = random.Random(1)
+        assert f.detects(Point(0, 0), Point(10, 0), rng)
+        assert not f.detects(Point(0, 0), Point(500, 0), rng)
+
+
+class TestPolicies:
+    def test_flood_always(self):
+        ap = AccessPoint(0, Point(0, 0), 1)
+        assert FloodPolicy().should_rebroadcast(ap)
+
+    def test_gossip_validation(self):
+        with pytest.raises(ValueError):
+            GossipPolicy(p=1.5, rng=random.Random(0))
+
+    def test_gossip_extremes(self):
+        ap = AccessPoint(0, Point(0, 0), 1)
+        always = GossipPolicy(p=1.0, rng=random.Random(0))
+        never = GossipPolicy(p=0.0, rng=random.Random(0))
+        assert all(always.should_rebroadcast(ap) for _ in range(20))
+        assert not any(never.should_rebroadcast(ap) for _ in range(20))
+
+    def test_conduit_policy_building_membership(self):
+        city = chain_city()
+        conduits = ConduitPath([ConduitRect(Point(0, 0), Point(160, 0), 50)])
+        policy = ConduitPolicy(conduits, city)
+        inside = AccessPoint(0, Point(80, 0), 3)
+        assert policy.should_rebroadcast(inside)
+
+    def test_conduit_policy_footprint_overlap_counts(self):
+        """An AP outside the conduit but in an overlapping building
+        still rebroadcasts (building-level membership, §3)."""
+        city = City("c", [Building(1, Polygon.rectangle(0, 20, 100, 80))])
+        conduits = ConduitPath([ConduitRect(Point(0, 0), Point(100, 0), 50)])
+        policy = ConduitPolicy(conduits, city)
+        ap_far_inside_building = AccessPoint(0, Point(50, 70), 1)
+        assert not conduits.contains(ap_far_inside_building.position)
+        assert policy.should_rebroadcast(ap_far_inside_building)
+
+    def test_position_policy_is_stricter(self):
+        city = City("c", [Building(1, Polygon.rectangle(0, 20, 100, 80))])
+        conduits = ConduitPath([ConduitRect(Point(0, 0), Point(100, 0), 50)])
+        ap = AccessPoint(0, Point(50, 70), 1)
+        assert not PositionConduitPolicy(conduits).should_rebroadcast(ap)
+
+    def test_conduit_policy_from_header(self):
+        city = chain_city()
+        router = BuildingRouter(city)
+        plan = router.plan(1, 5)
+        policy = ConduitPolicy.from_header(ConduitMembership(city), plan.header, city)
+        assert policy.should_rebroadcast(AccessPoint(0, Point(80, 0), 3))
+
+
+class TestSimParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimParams(jitter_s=-1)
+        with pytest.raises(ValueError):
+            SimParams(max_sim_time_s=0)
+
+
+class TestSimulateBroadcast:
+    def test_flood_delivers_on_chain(self):
+        g = chain_graph()
+        rng = random.Random(0)
+        r = simulate_broadcast(g, 0, 5, FloodPolicy(), rng)
+        assert r.delivered
+        assert r.delivery_time_s > 0
+        assert r.transmissions == 5  # every AP rebroadcasts once
+        assert r.reach == 5
+
+    def test_source_in_destination_building(self):
+        g = chain_graph()
+        r = simulate_broadcast(g, 0, 1, FloodPolicy(), random.Random(0))
+        assert r.delivered
+        assert r.delivery_time_s == 0.0
+
+    def test_no_rebroadcast_policy_limits_reach(self):
+        g = chain_graph()
+
+        class Silent:
+            def should_rebroadcast(self, ap):
+                return False
+
+        r = simulate_broadcast(g, 0, 5, Silent(), random.Random(0))
+        assert not r.delivered
+        assert r.transmissions == 1  # only the source
+        assert r.reach == 2  # source + its one neighbour
+
+    def test_disconnected_chain_fails(self):
+        aps = [
+            AccessPoint(0, Point(0, 0), 1),
+            AccessPoint(1, Point(40, 0), 2),
+            AccessPoint(2, Point(300, 0), 3),
+        ]
+        g = APGraph(aps, transmission_range=50)
+        r = simulate_broadcast(g, 0, 3, FloodPolicy(), random.Random(0))
+        assert not r.delivered
+        assert r.delivery_time_s is None
+
+    def test_duplicates_counted(self):
+        # Triangle: everyone hears everyone; rebroadcasts collide.
+        aps = [AccessPoint(i, Point(i * 10, 0), i + 1) for i in range(3)]
+        g = APGraph(aps, transmission_range=50)
+        r = simulate_broadcast(g, 0, 3, FloodPolicy(), random.Random(0))
+        assert r.delivered
+        assert r.duplicates > 0
+
+    def test_compromised_node_blackholes(self):
+        g = chain_graph()
+        r = simulate_broadcast(
+            g, 0, 5, FloodPolicy(), random.Random(0), compromised=frozenset({2})
+        )
+        assert not r.delivered  # AP 2 is the only cut vertex
+        assert 2 in r.heard  # it received...
+        assert 2 not in r.transmitters  # ...but never forwarded
+
+    def test_deterministic_given_seed(self):
+        g = chain_graph(8)
+        r1 = simulate_broadcast(g, 0, 8, FloodPolicy(), random.Random(5))
+        r2 = simulate_broadcast(g, 0, 8, FloodPolicy(), random.Random(5))
+        assert r1.delivery_time_s == r2.delivery_time_s
+        assert r1.transmissions == r2.transmissions
+
+    def test_lossy_radio_can_fail(self):
+        g = chain_graph(10)
+        delivered = 0
+        # On a 10-hop chain each hop has one shot, so delivery needs
+        # all ~10 receptions to survive: P ~= 0.9^10 ~= 0.35.
+        for seed in range(40):
+            r = simulate_broadcast(
+                g, 0, 10, FloodPolicy(), random.Random(seed),
+                radio=LossyRadio(loss_probability=0.1),
+            )
+            delivered += r.delivered
+        assert 0 < delivered < 40
+
+    def test_conduit_end_to_end(self):
+        city = chain_city()
+        g = chain_graph()
+        router = BuildingRouter(city)
+        plan = router.plan(1, 5)
+        policy = ConduitPolicy(plan.conduits, city)
+        r = simulate_broadcast(g, 0, 5, policy, random.Random(0))
+        assert r.delivered
+
+
+class TestTransmissionOverhead:
+    def test_not_delivered_is_none(self):
+        g = chain_graph()
+        r = simulate_broadcast(
+            g, 0, 5, FloodPolicy(), random.Random(0), compromised=frozenset({2})
+        )
+        assert transmission_overhead(g, r, 0, 5) is None
+
+    def test_flood_overhead_on_chain(self):
+        g = chain_graph()
+        r = simulate_broadcast(g, 0, 5, FloodPolicy(), random.Random(0))
+        # 5 transmissions, ideal is 4 hops.
+        assert transmission_overhead(g, r, 0, 5) == pytest.approx(5 / 4)
+
+    def test_same_building_is_infinite(self):
+        g = chain_graph()
+        r = simulate_broadcast(g, 0, 1, FloodPolicy(), random.Random(0))
+        assert transmission_overhead(g, r, 0, 1) == float("inf")

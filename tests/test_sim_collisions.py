@@ -1,0 +1,116 @@
+"""Tests for the collision-aware broadcast simulation."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point
+from repro.mesh import APGraph, AccessPoint
+from repro.sim import (
+    FloodPolicy,
+    SimParams,
+    simulate_broadcast,
+    simulate_broadcast_with_collisions,
+)
+
+
+def chain(n=5, spacing=40.0):
+    aps = [AccessPoint(i, Point(i * spacing, 0.0), i + 1) for i in range(n)]
+    return APGraph(aps, transmission_range=50)
+
+
+def clique(n=6):
+    """n APs all within range of each other (worst collision case)."""
+    aps = [AccessPoint(i, Point(i * 5.0, 0.0), i + 1) for i in range(n)]
+    return APGraph(aps, transmission_range=50)
+
+
+class TestCollisionModel:
+    def test_frame_time_validation(self):
+        with pytest.raises(ValueError):
+            simulate_broadcast_with_collisions(
+                chain(), 0, 5, FloodPolicy(), random.Random(0), frame_time_s=0
+            )
+
+    def test_chain_with_jitter_delivers(self):
+        """On a chain, only one AP transmits at a time once jitter
+        separates the rebroadcasts: no collisions, full delivery."""
+        g = chain()
+        r = simulate_broadcast_with_collisions(
+            g, 0, 5, FloodPolicy(), random.Random(0),
+            params=SimParams(jitter_s=0.05),
+        )
+        assert r.delivered
+        assert r.transmissions == 5
+
+    def test_zero_jitter_clique_collides(self):
+        """All neighbours rebroadcast simultaneously with zero jitter:
+        every secondary frame collides."""
+        g = clique(6)
+        r = simulate_broadcast_with_collisions(
+            g, 0, 99, FloodPolicy(), random.Random(0),
+            params=SimParams(jitter_s=0.0),
+        )
+        # The source frame arrives cleanly (no one else talking), then
+        # all 5 receivers rebroadcast at the same instant and jam.
+        assert r.collisions > 0
+
+    def test_half_duplex(self):
+        """A node transmitting cannot decode an overlapping frame."""
+        # Two APs in range transmit simultaneously (zero jitter makes
+        # AP1 rebroadcast exactly when AP... build a triangle where two
+        # nodes hear the source and both rebroadcast at once).
+        g = clique(3)
+        r = simulate_broadcast_with_collisions(
+            g, 0, 99, FloodPolicy(), random.Random(0),
+            params=SimParams(jitter_s=0.0),
+        )
+        # Both neighbours transmit in the same slot: each is deaf to
+        # the other's frame.
+        assert r.collisions >= 2
+
+    def test_jitter_improves_delivery(self):
+        """More jitter -> fewer collisions -> more deliveries (the
+        design rationale for rebroadcast jitter)."""
+        g = clique(8)
+
+        def delivery_rate(jitter):
+            ok = 0
+            for seed in range(10):
+                r = simulate_broadcast_with_collisions(
+                    g, 0, 8, FloodPolicy(), random.Random(seed),
+                    params=SimParams(jitter_s=jitter),
+                )
+                ok += r.delivered
+            return ok
+
+        assert delivery_rate(0.05) >= delivery_rate(0.0)
+
+    def test_collision_rate_property(self):
+        g = clique(5)
+        r = simulate_broadcast_with_collisions(
+            g, 0, 99, FloodPolicy(), random.Random(0),
+            params=SimParams(jitter_s=0.0),
+        )
+        assert 0 <= r.collision_rate <= 1
+
+    def test_matches_ideal_model_when_no_contention(self):
+        """A sparse chain with large jitter behaves like the ideal model."""
+        g = chain(8)
+        params = SimParams(jitter_s=0.2)
+        ideal = simulate_broadcast(g, 0, 8, FloodPolicy(), random.Random(3), params=params)
+        collision = simulate_broadcast_with_collisions(
+            g, 0, 8, FloodPolicy(), random.Random(3), params=params
+        )
+        assert ideal.delivered == collision.delivered
+        assert ideal.transmissions == collision.transmissions
+
+    def test_compromised_nodes_respected(self):
+        g = chain()
+        r = simulate_broadcast_with_collisions(
+            g, 0, 5, FloodPolicy(), random.Random(0),
+            params=SimParams(jitter_s=0.05),
+            compromised=frozenset({2}),
+        )
+        assert not r.delivered
+        assert 2 not in r.transmitters

@@ -1,0 +1,163 @@
+"""Tests for the multi-message traffic simulation."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point
+from repro.mesh import APGraph, AccessPoint
+from repro.sim import (
+    FloodPolicy,
+    SimParams,
+    TrafficMessage,
+    poisson_workload,
+    simulate_traffic,
+)
+from repro.sim.traffic import _AirLog
+
+
+def chain(n=6, spacing=40.0):
+    aps = [AccessPoint(i, Point(i * spacing, 0.0), i + 1) for i in range(n)]
+    return APGraph(aps, transmission_range=50)
+
+
+class TestAirLog:
+    def test_no_intervals(self):
+        log = _AirLog()
+        assert not log.overlaps(0, 0.0, 1.0)
+
+    def test_basic_overlap(self):
+        log = _AirLog()
+        log.add(0, 1.0, 2.0)
+        assert log.overlaps(0, 1.5, 2.5)
+        assert log.overlaps(0, 0.5, 1.5)
+        assert not log.overlaps(0, 2.0, 3.0)  # touching is not overlap
+        assert not log.overlaps(0, 0.0, 1.0)
+
+    def test_skip_own_interval(self):
+        log = _AirLog()
+        log.add(0, 1.0, 2.0)
+        assert not log.overlaps(0, 1.0, 2.0, skip=(1.0, 2.0))
+
+    def test_many_intervals_sorted_lookup(self):
+        log = _AirLog()
+        for i in range(100):
+            log.add(0, float(i), i + 0.5)
+        assert log.overlaps(0, 50.25, 50.4)
+        assert not log.overlaps(0, 50.6, 50.9)
+
+
+class TestSimulateTraffic:
+    def test_frame_time_validation(self):
+        with pytest.raises(ValueError):
+            simulate_traffic(chain(), [], random.Random(0), frame_time_s=0)
+
+    def test_duplicate_ids_rejected(self):
+        g = chain()
+        msg = TrafficMessage(1, 0.0, 0, 6, FloodPolicy())
+        with pytest.raises(ValueError):
+            simulate_traffic(g, [msg, msg], random.Random(0))
+
+    def test_single_message_delivers(self):
+        g = chain()
+        msgs = [TrafficMessage(0, 0.0, 0, 6, FloodPolicy())]
+        r = simulate_traffic(
+            g, msgs, random.Random(0), params=SimParams(jitter_s=0.05)
+        )
+        assert r.delivery_rate == 1.0
+        assert r.outcomes[0].delivery_time_s > 0
+
+    def test_empty_workload(self):
+        r = simulate_traffic(chain(), [], random.Random(0))
+        assert r.offered == 0
+        assert r.delivery_rate == 0.0
+
+    def test_staggered_messages_deliver(self):
+        """Messages far apart in time never interfere."""
+        g = chain()
+        msgs = [
+            TrafficMessage(0, 0.0, 0, 6, FloodPolicy()),
+            TrafficMessage(1, 10.0, 5, 1, FloodPolicy()),
+        ]
+        r = simulate_traffic(
+            g, msgs, random.Random(0), params=SimParams(jitter_s=0.05, max_sim_time_s=30)
+        )
+        assert r.delivery_rate == 1.0
+        assert r.total_collisions == 0
+
+    def test_simultaneous_messages_can_collide(self):
+        """Two messages injected at the same instant on the same chain
+        interfere with zero jitter."""
+        g = chain()
+        msgs = [
+            TrafficMessage(0, 0.0, 0, 6, FloodPolicy()),
+            TrafficMessage(1, 0.0, 5, 1, FloodPolicy()),
+        ]
+        r = simulate_traffic(
+            g, msgs, random.Random(0), params=SimParams(jitter_s=0.0)
+        )
+        assert r.total_collisions > 0
+
+    def test_delivery_time_relative_to_start(self):
+        g = chain()
+        msgs = [TrafficMessage(0, 5.0, 0, 6, FloodPolicy())]
+        r = simulate_traffic(
+            g, msgs, random.Random(0), params=SimParams(jitter_s=0.05, max_sim_time_s=30)
+        )
+        outcome = r.outcomes[0]
+        assert outcome.delivered
+        # Delay is measured from the message's start, not sim zero.
+        assert 0 < outcome.delivery_time_s < 5.0
+
+    def test_source_in_dest_building(self):
+        g = chain()
+        msgs = [TrafficMessage(0, 0.0, 2, 3, FloodPolicy())]
+        r = simulate_traffic(g, msgs, random.Random(0))
+        assert r.outcomes[0].delivered
+        assert r.outcomes[0].delivery_time_s == 0.0
+
+
+class TestPoissonWorkload:
+    def test_validation(self):
+        g = chain()
+        with pytest.raises(ValueError):
+            poisson_workload(g, [1, 2], 0, 10, lambda s, d: FloodPolicy(), random.Random(0))
+        with pytest.raises(ValueError):
+            poisson_workload(g, [1], 1, 10, lambda s, d: FloodPolicy(), random.Random(0))
+
+    def test_rate_scales_count(self):
+        g = chain()
+        ids = [1, 2, 3, 4, 5, 6]
+        rng_lo = random.Random(0)
+        rng_hi = random.Random(0)
+        lo = poisson_workload(g, ids, 0.5, 60, lambda s, d: FloodPolicy(), rng_lo)
+        hi = poisson_workload(g, ids, 5.0, 60, lambda s, d: FloodPolicy(), rng_hi)
+        assert len(hi) > len(lo) * 3
+
+    def test_arrivals_within_horizon(self):
+        g = chain()
+        msgs = poisson_workload(
+            g, [1, 2, 3], 2.0, 30, lambda s, d: FloodPolicy(), random.Random(1)
+        )
+        assert all(0 <= m.start_s < 30 for m in msgs)
+        assert [m.msg_id for m in msgs] == list(range(len(msgs)))
+
+    def test_policy_none_skips_pair(self):
+        g = chain()
+        msgs = poisson_workload(
+            g, [1, 2, 3], 2.0, 30, lambda s, d: None, random.Random(1)
+        )
+        assert msgs == []
+
+
+class TestCapacityExperiment:
+    def test_sweep_runs(self):
+        from repro.experiments import format_capacity, run_capacity_sweep
+
+        points = run_capacity_sweep(
+            "gridport", rates=(0.5, 4.0), duration_s=8.0, seed=0
+        )
+        assert len(points) == 2
+        assert points[0].delivery_rate >= points[1].delivery_rate - 0.2
+        out = format_capacity(points)
+        assert "Capacity" in out

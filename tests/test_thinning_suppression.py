@@ -1,0 +1,123 @@
+"""Tests for the overhead reducers: hash thinning and duplicate suppression."""
+
+import random
+
+import pytest
+
+from repro.city import Building, City, make_city
+from repro.core import BuildingRouter, ThinnedConduitPolicy, thinning_hash
+from repro.geometry import ConduitPath, ConduitRect, Point, Polygon
+from repro.mesh import APGraph, AccessPoint, place_aps
+from repro.sim import ConduitPolicy, FloodPolicy, SimParams, simulate_broadcast
+
+
+def conduit_city():
+    city = City("strip", [Building(1, Polygon.rectangle(0, -10, 100, 10))])
+    conduits = ConduitPath([ConduitRect(Point(0, 0), Point(100, 0), 50)])
+    return city, conduits
+
+
+class TestThinningHash:
+    def test_deterministic(self):
+        assert thinning_hash(5, 99) == thinning_hash(5, 99)
+
+    def test_uniform_range(self):
+        values = [thinning_hash(i, 7) for i in range(500)]
+        assert all(0 <= v < 1 for v in values)
+        mean = sum(values) / len(values)
+        assert 0.4 < mean < 0.6
+
+    def test_message_id_varies_subset(self):
+        set_a = {i for i in range(200) if thinning_hash(i, 1) < 0.5}
+        set_b = {i for i in range(200) if thinning_hash(i, 2) < 0.5}
+        assert set_a != set_b
+
+
+class TestThinnedPolicy:
+    def test_validation(self):
+        city, conduits = conduit_city()
+        with pytest.raises(ValueError):
+            ThinnedConduitPolicy(conduits, city, 1, p=0.0)
+        with pytest.raises(ValueError):
+            ThinnedConduitPolicy(conduits, city, 1, p=1.5)
+
+    def test_p_one_is_paper_behaviour(self):
+        city, conduits = conduit_city()
+        full = ConduitPolicy(conduits, city)
+        thin = ThinnedConduitPolicy(conduits, city, message_id=9, p=1.0)
+        for i in range(50):
+            ap = AccessPoint(i, Point(i * 2.0, 0), 1)
+            assert thin.should_rebroadcast(ap) == full.should_rebroadcast(ap)
+
+    def test_outside_conduit_never(self):
+        city, conduits = conduit_city()
+        thin = ThinnedConduitPolicy(conduits, city, message_id=9, p=1.0)
+        outside = City("far", [Building(1, Polygon.rectangle(500, 500, 520, 520))])
+        policy = ThinnedConduitPolicy(conduits, outside, message_id=9, p=1.0)
+        assert not policy.should_rebroadcast(AccessPoint(0, Point(510, 510), 1))
+
+    def test_thinning_reduces_rebroadcasters(self):
+        city, conduits = conduit_city()
+        thin = ThinnedConduitPolicy(conduits, city, message_id=3, p=0.3)
+        aps = [AccessPoint(i, Point(i % 100, 0), 1) for i in range(300)]
+        kept = sum(thin.should_rebroadcast(ap) for ap in aps)
+        assert 40 <= kept <= 140  # ~30% of 300
+
+    def test_deterministic_per_message(self):
+        city, conduits = conduit_city()
+        a = ThinnedConduitPolicy(conduits, city, message_id=3, p=0.5)
+        b = ThinnedConduitPolicy(conduits, city, message_id=3, p=0.5)
+        ap = AccessPoint(17, Point(50, 0), 1)
+        assert a.should_rebroadcast(ap) == b.should_rebroadcast(ap)
+
+
+class TestSuppression:
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            SimParams(suppression_threshold=0)
+
+    def test_none_threshold_changes_nothing(self):
+        city = make_city("gridport", seed=3)
+        g = APGraph(place_aps(city, rng=random.Random(3)))
+        router = BuildingRouter(city)
+        ids = [b.id for b in city.buildings if g.aps_in_building(b.id)]
+        plan = router.plan(ids[0], ids[-1])
+        policy = ConduitPolicy(plan.conduits, city)
+        base = simulate_broadcast(
+            g, g.aps_in_building(ids[0])[0], ids[-1], policy, random.Random(1)
+        )
+        explicit = simulate_broadcast(
+            g, g.aps_in_building(ids[0])[0], ids[-1], policy, random.Random(1),
+            params=SimParams(suppression_threshold=None),
+        )
+        assert base.transmissions == explicit.transmissions
+        assert base.suppressed == explicit.suppressed == 0
+
+    def test_suppression_reduces_transmissions(self):
+        city = make_city("gridport", seed=3)
+        g = APGraph(place_aps(city, rng=random.Random(3)))
+        router = BuildingRouter(city)
+        ids = [b.id for b in city.buildings if g.aps_in_building(b.id)]
+        plan = router.plan(ids[0], ids[-1])
+        policy = ConduitPolicy(plan.conduits, city)
+        src = g.aps_in_building(ids[0])[0]
+        base = simulate_broadcast(g, src, ids[-1], policy, random.Random(1))
+        capped = simulate_broadcast(
+            g, src, ids[-1], policy, random.Random(1),
+            params=SimParams(suppression_threshold=4),
+        )
+        assert capped.transmissions < base.transmissions
+        assert capped.suppressed > 0
+
+    def test_chain_unaffected(self):
+        """On a chain each AP hears only one copy before transmitting:
+        suppression with any threshold >= 2 must not change anything."""
+        aps = [AccessPoint(i, Point(i * 40.0, 0), i + 1) for i in range(6)]
+        g = APGraph(aps, transmission_range=50)
+        base = simulate_broadcast(g, 0, 6, FloodPolicy(), random.Random(0))
+        capped = simulate_broadcast(
+            g, 0, 6, FloodPolicy(), random.Random(0),
+            params=SimParams(suppression_threshold=2),
+        )
+        assert capped.delivered == base.delivered
+        assert capped.transmissions == base.transmissions

@@ -1,0 +1,112 @@
+"""Tests for the ASCII raster canvas and map renderings."""
+
+import random
+
+import pytest
+
+from repro.city import Building, City, Obstacle, make_city
+from repro.core import BuildingRouter
+from repro.geometry import Point, Polygon
+from repro.mesh import APGraph, place_aps
+from repro.sim import ConduitPolicy, simulate_broadcast
+from repro.viz import AsciiCanvas, render_city, render_mesh, render_simulation
+
+
+class TestAsciiCanvas:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas(0, 0, 0, 10)
+        with pytest.raises(ValueError):
+            AsciiCanvas(0, 0, 10, 10, width_chars=1)
+
+    def test_cell_mapping_corners(self):
+        c = AsciiCanvas(0, 0, 100, 100, width_chars=20)
+        assert c.cell_of(Point(0, 100)) == (0, 0)  # top-left
+        row, col = c.cell_of(Point(100, 0))  # bottom-right
+        assert row == c.height - 1
+        assert col == c.width - 1
+
+    def test_out_of_bounds_is_none(self):
+        c = AsciiCanvas(0, 0, 100, 100)
+        assert c.cell_of(Point(-1, 50)) is None
+        assert c.cell_of(Point(50, 101)) is None
+
+    def test_plot_and_render(self):
+        c = AsciiCanvas(0, 0, 100, 100, width_chars=10)
+        c.plot(Point(50, 50), "X")
+        art = c.render()
+        assert "X" in art
+
+    def test_plot_off_canvas_noop(self):
+        c = AsciiCanvas(0, 0, 100, 100, width_chars=10)
+        c.plot(Point(500, 500), "X")
+        assert "X" not in c.render()
+
+    def test_fill_polygon(self):
+        c = AsciiCanvas(0, 0, 100, 100, width_chars=20)
+        c.fill_polygon(Polygon.rectangle(0, 0, 100, 100), "#")
+        art = c.render()
+        assert art.count("#") > 50
+
+    def test_fill_partial_polygon(self):
+        c = AsciiCanvas(0, 0, 100, 100, width_chars=20)
+        c.fill_polygon(Polygon.rectangle(0, 0, 50, 50), "#")
+        rows = c.render().splitlines()
+        # The top rows (high y) must be empty.
+        assert "#" not in rows[0]
+
+    def test_line(self):
+        c = AsciiCanvas(0, 0, 100, 100, width_chars=20)
+        c.line(Point(0, 0), Point(100, 100), "*")
+        assert c.render().count("*") >= 10
+
+    def test_world_of_roundtrip(self):
+        c = AsciiCanvas(0, 0, 100, 100, width_chars=50)
+        p = c.world_of(5, 10)
+        row, col = c.cell_of(p)
+        assert (row, col) == (5, 10)
+
+
+class TestRenderings:
+    @pytest.fixture(scope="class")
+    def world(self):
+        city = make_city("gridport", seed=6)
+        aps = place_aps(city, rng=random.Random(6))
+        return city, APGraph(aps)
+
+    def test_render_city_contains_buildings(self, world):
+        city, _ = world
+        art = render_city(city, width_chars=60)
+        assert "#" in art
+        assert city.name in art
+
+    def test_render_city_obstacles(self):
+        city = City(
+            "lake",
+            [Building(1, Polygon.rectangle(0, 0, 50, 50))],
+            [Obstacle(Polygon.rectangle(100, 0, 200, 100), "water")],
+        )
+        art = render_city(city, width_chars=60)
+        assert "~" in art
+        assert "#" in art
+
+    def test_render_mesh_has_aps(self, world):
+        city, graph = world
+        art = render_mesh(city, graph, width_chars=60)
+        assert "." in art
+        assert f"{len(graph)} APs" in art
+
+    def test_render_simulation_layers(self, world):
+        city, graph = world
+        router = BuildingRouter(city)
+        ids = [b.id for b in city.buildings if graph.aps_in_building(b.id)]
+        plan = router.plan(ids[0], ids[-1])
+        policy = ConduitPolicy(plan.conduits, city)
+        src_ap = graph.aps_in_building(ids[0])[0]
+        result = simulate_broadcast(graph, src_ap, ids[-1], policy, random.Random(0))
+        art = render_simulation(city, graph, plan, result, width_chars=80)
+        assert "*" in art  # route line
+        assert "o" in art  # rebroadcasters
+        assert "S" in art and "D" in art
+        status = "delivered" if result.delivered else "NOT delivered"
+        assert status in art

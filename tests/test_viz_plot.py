@@ -1,0 +1,76 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.viz import ascii_bar_chart, ascii_line_chart, cdf_chart
+
+
+class TestLineChart:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({})
+        with pytest.raises(ValueError):
+            ascii_line_chart({"a": []})
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({"a": [(0, 0)]}, width=5)
+
+    def test_single_series(self):
+        chart = ascii_line_chart({"cdf": [(0, 0), (5, 0.5), (10, 1.0)]})
+        assert "* cdf" in chart
+        body = "\n".join(chart.splitlines()[1:])
+        assert body.count("*") == 3  # one marker per point
+
+    def test_markers_distinct_per_series(self):
+        chart = ascii_line_chart(
+            {"a": [(0, 0), (10, 1)], "b": [(0, 1), (10, 0)]}
+        )
+        legend = chart.splitlines()[0]
+        assert "* a" in legend and "o b" in legend
+        body = "\n".join(chart.splitlines()[1:])
+        assert "*" in body and "o" in body
+
+    def test_axis_labels_present(self):
+        chart = ascii_line_chart(
+            {"s": [(0, 0), (100, 1)]}, x_label="metres", y_label="CDF"
+        )
+        assert "metres" in chart
+        assert "(y: CDF)" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_line_chart({"flat": [(0, 1.0), (10, 1.0)]})
+        assert "flat" in chart
+
+    def test_cdf_chart_wrapper(self):
+        chart = cdf_chart({"x": [(0, 0), (1, 1)]}, x_label="value")
+        assert "(y: CDF)" in chart
+
+
+class TestBarChart:
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart([], [])
+
+    def test_bars_proportional(self):
+        chart = ascii_bar_chart(["full", "half"], [1.0, 0.5], width=40, max_value=1.0)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 40
+        assert lines[1].count("#") == 20
+
+    def test_labels_aligned(self):
+        chart = ascii_bar_chart(["a", "longer-label"], [1, 1])
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_zero_values(self):
+        chart = ascii_bar_chart(["z"], [0.0])
+        assert "#" not in chart
+
+    def test_value_format(self):
+        chart = ascii_bar_chart(["x"], [0.123456], value_format="{:.4f}")
+        assert "0.1235" in chart
