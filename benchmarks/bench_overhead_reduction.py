@@ -26,6 +26,9 @@ from repro.sim import ConduitPolicy, SimParams, simulate_broadcast, transmission
 def run_reduction_comparison(world, pairs=20, seed=0):
     rng = random.Random(seed)
     pair_list = sample_building_pairs(world, pairs, rng)
+    # Batched prewarm: every variant below replans the same pairs, so
+    # one shared Dijkstra tree per source serves all four sweeps.
+    world.router.graph.plan_routes(pair_list)
     variants = {
         "paper (all rebroadcast)": (None, None),
         "suppression C=5": (5, None),

@@ -17,4 +17,8 @@ The package implements the paper's full system from scratch:
 - :mod:`repro.experiments` — drivers regenerating every table and figure.
 """
 
+from .buildgraph import BuildingGraph, NoRouteError, plan_building_route
+
+__all__ = ["BuildingGraph", "NoRouteError", "plan_building_route"]
+
 __version__ = "1.0.0"

@@ -1,0 +1,50 @@
+"""The building graph and its route planner (§3 steps 1–2).
+
+The keystone of building routing: buildings are vertices, predicted
+AP connectivity (footprint gap within transmission range) gives edges,
+and cubed-centroid-distance weights make the planner prefer dense
+blocks of short hops.  Engineered for the hot path:
+
+- graph construction via the :class:`repro.geometry.GridIndex`
+  spatial hash (never an O(n²) all-pairs scan),
+- binary-heap Dijkstra with an A* fast path under a consistent
+  scaled-straight-line heuristic,
+- a bounded LRU route cache keyed by ``(src, dst, graph version)``
+  with explicit invalidation on mutation,
+- batched many-to-many planning that shares one single-source
+  Dijkstra tree per source,
+- work counters (``BuildingGraph.stats()``) so benchmarks regress on
+  nodes expanded and cache hits, not just wall time.
+"""
+
+from .graph import (
+    DEFAULT_AP_DENSITY,
+    DEFAULT_ROUTE_CACHE_SIZE,
+    DEFAULT_TRANSMISSION_RANGE,
+    DEFAULT_WEIGHT_EXPONENT,
+    BuildingGraph,
+)
+from .lru import LRUCache
+from .planner import (
+    NoRouteError,
+    heap_search,
+    plan_building_route,
+    plan_routes,
+    route_length_m,
+    sssp_tree,
+)
+
+__all__ = [
+    "BuildingGraph",
+    "LRUCache",
+    "NoRouteError",
+    "DEFAULT_AP_DENSITY",
+    "DEFAULT_ROUTE_CACHE_SIZE",
+    "DEFAULT_TRANSMISSION_RANGE",
+    "DEFAULT_WEIGHT_EXPONENT",
+    "heap_search",
+    "plan_building_route",
+    "plan_routes",
+    "route_length_m",
+    "sssp_tree",
+]

@@ -1,0 +1,91 @@
+"""A small bounded LRU cache with hit/miss accounting.
+
+Shared by the route cache in :class:`repro.buildgraph.BuildingGraph`
+and the conduit-reconstruction cache in
+:class:`repro.core.ConduitMembership`.  Both sit on hot paths (every
+send, every AP's rebroadcast decision), so the implementation leans on
+``OrderedDict``'s C-level ``move_to_end`` and keeps per-op overhead to
+a couple of dict operations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class LRUCache(Generic[K, V]):
+    """Bounded mapping that evicts the least-recently-used entry.
+
+    Args:
+        maxsize: maximum number of entries held; must be >= 1.
+
+    Attributes:
+        hits / misses / evictions: monotone counters, readable at any
+            time and reset via :meth:`reset_counters`.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "_data")
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict[K, V] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        """Membership test; does not touch recency or the counters."""
+        return key in self._data
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """The cached value (marked most-recently-used) or ``default``."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value  # type: ignore[return-value]
+
+    def put(self, key: K, value: V) -> None:
+        """Insert or refresh ``key``, evicting the LRU entry if full."""
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+            data[key] = value
+            return
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; see reset_counters)."""
+        self._data.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/eviction counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def counters(self) -> dict[str, int]:
+        """A snapshot of size and the accounting counters."""
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

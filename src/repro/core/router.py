@@ -14,7 +14,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..buildgraph import BuildingGraph, plan_building_route
+from ..buildgraph import BuildingGraph, LRUCache, NoRouteError, plan_building_route
 from ..city import City
 from ..geometry import ConduitPath, Point
 from .compression import DEFAULT_CONDUIT_WIDTH, compress_route, conduits_for_waypoints
@@ -121,6 +121,30 @@ class BuildingRouter:
         plan = self.plan(src_building, dst_building, message_id=message_id)
         return Packet(header=plan.header, payload=payload), plan
 
+    def plan_batch(
+        self, pairs: list[tuple[int, int]]
+    ) -> dict[tuple[int, int], RoutePlan]:
+        """Plan many pairs at once, sharing planner work across them.
+
+        The graph's batched planner runs one single-source Dijkstra
+        tree per distinct source and warms the route cache, so the
+        per-pair :meth:`plan` calls below hit in O(1).  Unroutable or
+        unknown pairs are simply omitted from the result (batch
+        callers skip failed pairs rather than abort the sweep).
+        """
+        batched = getattr(self.graph, "plan_routes", None)
+        if callable(batched):
+            batched(pairs)
+        plans: dict[tuple[int, int], RoutePlan] = {}
+        for src, dst in pairs:
+            if (src, dst) in plans:
+                continue
+            try:
+                plans[(src, dst)] = self.plan(src, dst)
+            except (NoRouteError, KeyError):
+                continue
+        return plans
+
 
 class ConduitMembership:
     """AP-side stateless rebroadcast decision.
@@ -129,12 +153,18 @@ class ConduitMembership:
     decodes the waypoint ids, looks their centroids up in the map,
     reconstructs the conduits, and rebroadcasts iff its own position
     falls inside any of them.  The reconstruction is cached per
-    waypoint tuple because every AP in the mesh sees the same packet.
+    waypoint tuple because every AP in the mesh sees the same packet;
+    the cache is a bounded LRU so a long-lived AP under many distinct
+    flows cannot grow without limit.
     """
 
-    def __init__(self, city: City):
+    DEFAULT_CACHE_SIZE = 4096
+
+    def __init__(self, city: City, cache_size: int = DEFAULT_CACHE_SIZE):
         self.city = city
-        self._cache: dict[tuple[tuple[int, ...], float], ConduitPath] = {}
+        self._cache: LRUCache[tuple[tuple[int, ...], float], ConduitPath] = (
+            LRUCache(maxsize=cache_size)
+        )
 
     def conduits_of(self, header: PacketHeader) -> ConduitPath:
         """Reconstruct (or fetch cached) conduits for a header.
@@ -149,7 +179,7 @@ class ConduitMembership:
             return cached
         centroids = [self.city.building(b).centroid() for b in header.waypoints]
         path = conduits_for_waypoints(centroids, float(header.width_m))
-        self._cache[key] = path
+        self._cache.put(key, path)
         return path
 
     def should_rebroadcast(self, header: PacketHeader, position: Point) -> bool:

@@ -147,7 +147,11 @@ def compare_membership(
     b_delivered = p_delivered = attempted = 0
     b_tx: list[float] = []
     p_tx: list[float] = []
-    for s, d in sample_building_pairs(world, pairs, rng):
+    pair_list = sample_building_pairs(world, pairs, rng)
+    # Batched prewarm: one Dijkstra tree per distinct source; the
+    # per-pair router.plan() calls below then hit the route cache.
+    world.building_graph.plan_routes(pair_list)
+    for s, d in pair_list:
         if not world.graph.buildings_reachable(s, d):
             continue
         try:
