@@ -1,0 +1,155 @@
+"""Benchmarks for the broadcast fast path and the parallel trial harness.
+
+Three measurements, one JSON perf record (printed at teardown and
+written to ``$BROADCAST_PERF_JSON`` when set):
+
+- **serial reference vs fastpath**: one full flood on a ~10k-AP world
+  through the generator/callback DES engine and through the
+  ``repro.sim.fastpath`` kernel.  Acceptance: the fastpath is ≥ 3x
+  faster single-threaded, with identical results (also enforced
+  exhaustively by ``tests/test_fastpath_equivalence.py``).
+- **TrialRunner scaling**: the same delivery-trial batch at
+  ``workers=1`` vs ``workers=4``.  Acceptance: ≥ 0.6 x workers
+  speedup — asserted only when the machine actually has ≥ 4 usable
+  cores (the JSON record always carries the measured value, so CI
+  trends catch regressions either way).
+"""
+
+import json
+import os
+import random
+import time
+
+import pytest
+
+from repro.city import Building, City
+from repro.experiments import (
+    TrialRunner,
+    WorldSpec,
+    delivery_trials,
+    sample_building_pairs,
+)
+from repro.geometry import Polygon
+from repro.mesh import APGraph, place_aps
+from repro.sim import FloodPolicy, simulate_broadcast
+
+# ~48 x 48 jittered city blocks at 1 AP / 200 m^2 -> ~10k APs.
+COLS = ROWS = 48
+SIZE = 30.0
+GAP = 15.0
+AP_DENSITY = 1.0 / 200.0
+
+SCALING_WORKERS = 4
+SCALING_TRIALS = 48
+USABLE_CPUS = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+    os.cpu_count() or 1
+)
+
+
+def synthetic_graph(cols=COLS, rows=ROWS, seed=0):
+    """A jittered lattice city densely populated with APs."""
+    rng = random.Random(seed)
+    pitch = SIZE + GAP
+    buildings = []
+    for j in range(rows):
+        for i in range(cols):
+            w = SIZE + rng.uniform(-4.0, 4.0)
+            h = SIZE + rng.uniform(-4.0, 4.0)
+            x0 = i * pitch + rng.uniform(-2.0, 2.0)
+            y0 = j * pitch + rng.uniform(-2.0, 2.0)
+            buildings.append(
+                Building(j * cols + i + 1, Polygon.rectangle(x0, y0, x0 + w, y0 + h))
+            )
+    city = City("synthetic-10k-ap", buildings)
+    aps = place_aps(city, density=AP_DENSITY, rng=random.Random(seed))
+    return APGraph(aps, transmission_range=50.0)
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    return synthetic_graph()
+
+
+@pytest.fixture(scope="module")
+def perf_record():
+    """Accumulates measurements; dumped as one JSON record at teardown."""
+    record = {"bench": "broadcast_kernel", "usable_cpus": USABLE_CPUS}
+    yield record
+    record["timestamp"] = time.time()
+    payload = json.dumps(record, indent=2, sort_keys=True)
+    path = os.environ.get("BROADCAST_PERF_JSON")
+    if path:
+        with open(path, "w") as fh:
+            fh.write(payload + "\n")
+    print("\nBROADCAST_PERF_RECORD " + payload)
+
+
+def test_bench_fastpath_vs_reference(big_graph, perf_record):
+    """The tentpole acceptance bar: ≥ 3x single-thread speedup on a
+    10k-AP flood, with identical seeded results."""
+    n = len(big_graph)
+    assert n >= 9_000, f"world too small to be representative: {n} APs"
+    dest = big_graph.aps[-1].building_id
+
+    def run(fast):
+        t0 = time.perf_counter()
+        result = simulate_broadcast(
+            big_graph, 0, dest, FloodPolicy(), random.Random(0), fast=fast
+        )
+        return time.perf_counter() - t0, result
+
+    # Interleave rounds so neither kernel gets a systematically warmer
+    # allocator; keep the per-kernel minimum.
+    ref_s = fast_s = float("inf")
+    for _ in range(3):
+        dt, ref_result = run(fast=False)
+        ref_s = min(ref_s, dt)
+        dt, fast_result = run(fast=True)
+        fast_s = min(fast_s, dt)
+
+    assert fast_result.transmissions == ref_result.transmissions
+    assert fast_result.receptions == ref_result.receptions
+    assert fast_result.delivery_time_s == ref_result.delivery_time_s
+    assert fast_result.heard == ref_result.heard
+
+    speedup = ref_s / fast_s
+    perf_record["n_aps"] = n
+    perf_record["flood_receptions"] = ref_result.receptions
+    perf_record["reference_s"] = ref_s
+    perf_record["fastpath_s"] = fast_s
+    perf_record["fastpath_speedup"] = speedup
+    assert speedup >= 3.0, (ref_s, fast_s)
+
+
+def test_bench_trial_runner_scaling(gridport, perf_record):
+    """Steady-state throughput of the same trial batch at 1 vs 4
+    workers (pool spin-up and per-worker world builds are warmed out
+    of the timed window — they amortise over a real sweep)."""
+    pairs = sample_building_pairs(gridport, SCALING_TRIALS, random.Random(0))
+    trials = delivery_trials(pairs, base_seed=42)
+    spec = WorldSpec("gridport", seed=0)
+
+    with TrialRunner(workers=1) as serial_runner:
+        serial_runner.run_deliveries(spec, trials[:2])  # warm world cache
+        t0 = time.perf_counter()
+        serial_results = serial_runner.run_deliveries(spec, trials)
+        serial_s = time.perf_counter() - t0
+
+    with TrialRunner(workers=SCALING_WORKERS) as parallel_runner:
+        parallel_runner.run_deliveries(spec, trials[:8])  # spin pool + caches
+        t0 = time.perf_counter()
+        parallel_results = parallel_runner.run_deliveries(spec, trials)
+        parallel_s = time.perf_counter() - t0
+
+    assert parallel_results == serial_results  # worker-count invariance
+
+    scaling = serial_s / parallel_s
+    perf_record["trials"] = len(trials)
+    perf_record["serial_trials_per_s"] = len(trials) / serial_s
+    perf_record["parallel_workers"] = SCALING_WORKERS
+    perf_record["parallel_trials_per_s"] = len(trials) / parallel_s
+    perf_record["parallel_scaling"] = scaling
+    if USABLE_CPUS >= SCALING_WORKERS:
+        assert scaling >= 0.6 * SCALING_WORKERS, (serial_s, parallel_s)
+    else:
+        perf_record["parallel_scaling_asserted"] = False

@@ -15,6 +15,7 @@ import argparse
 import sys
 
 from .experiments import (
+    TrialRunner,
     compare_membership,
     export_all,
     format_calibration,
@@ -54,6 +55,15 @@ from .measurement import run_study
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for independent trials (results are "
+            "identical for any value; 1 = in-process)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -145,9 +155,13 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     seed = args.seed
+    with TrialRunner(workers=getattr(args, "workers", 1)) as runner:
+        return _dispatch(args, seed, runner)
 
+
+def _dispatch(args: argparse.Namespace, seed: int, runner: TrialRunner) -> int:
     if args.command in ("table1", "fig1", "fig2"):
-        datasets = run_study(seed=seed)
+        datasets = run_study(seed=seed, runner=runner)
         if args.command == "table1":
             print(format_table1(run_table1(seed=seed, datasets=datasets)))
         elif args.command == "fig1":
@@ -178,6 +192,7 @@ def main(argv: list[str] | None = None) -> int:
             cities=args.cities,
             reach_pairs=args.reach_pairs,
             delivery_pairs=args.delivery_pairs,
+            workers=args.workers,
         )
         print(format_fig6(rows))
         if args.plot:
@@ -194,17 +209,31 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "header":
         print(format_header_stats(run_header_stats(seed=seed, pairs=args.pairs)))
     elif args.command == "ablation-width":
-        print(format_sweep(sweep_conduit_width(seed=seed), "width (m)", "Conduit width sweep"))
+        print(
+            format_sweep(
+                sweep_conduit_width(seed=seed, runner=runner),
+                "width (m)",
+                "Conduit width sweep",
+            )
+        )
     elif args.command == "ablation-weights":
         print(
             format_sweep(
-                sweep_weight_exponent(seed=seed), "exponent", "Edge-weight exponent sweep"
+                sweep_weight_exponent(seed=seed, runner=runner),
+                "exponent",
+                "Edge-weight exponent sweep",
             )
         )
     elif args.command == "ablation-density":
-        print(format_sweep(sweep_ap_density(seed=seed), "m^2 per AP", "AP density sweep"))
+        print(
+            format_sweep(
+                sweep_ap_density(seed=seed, runner=runner),
+                "m^2 per AP",
+                "AP density sweep",
+            )
+        )
     elif args.command == "ablation-membership":
-        c = compare_membership(seed=seed)
+        c = compare_membership(seed=seed, runner=runner)
         print(
             f"building membership: {c.building_delivered}/{c.attempted} delivered, "
             f"median tx {c.building_median_tx}\n"
@@ -221,7 +250,7 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "calibration":
         print(format_calibration(run_calibration(args.city, seed=seed)))
     elif args.command == "capacity":
-        print(format_capacity(run_capacity_sweep(args.city, seed=seed)))
+        print(format_capacity(run_capacity_sweep(args.city, seed=seed, runner=runner)))
     elif args.command == "replicate":
         results = [
             replicate_fig6(city, seeds=tuple(range(seed, seed + args.num_seeds)))
@@ -229,7 +258,7 @@ def main(argv: list[str] | None = None) -> int:
         ]
         print(format_replication(results))
     elif args.command == "scaling":
-        print(format_scaling(run_scaling()))
+        print(format_scaling(run_scaling(runner=runner)))
     elif args.command == "export":
         files = export_all(args.out, seed=seed, quick=args.quick)
         for path in files:
@@ -237,7 +266,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {len(files)} files to {args.out}")
     elif args.command == "all":
         quick = args.quick
-        datasets = run_study(seed=seed)
+        datasets = run_study(seed=seed, runner=runner)
         print(format_table1(run_table1(seed=seed, datasets=datasets)), "\n")
         print(format_fig1(run_fig1(seed=seed, datasets=datasets)), "\n")
         print(format_fig2(run_fig2(seed=seed, datasets=datasets)), "\n")
@@ -248,6 +277,7 @@ def main(argv: list[str] | None = None) -> int:
                     seed=seed,
                     reach_pairs=100 if quick else 1000,
                     delivery_pairs=15 if quick else 50,
+                    workers=args.workers,
                 )
             ),
             "\n",

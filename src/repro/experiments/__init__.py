@@ -5,6 +5,7 @@ from .ablations import (
     SweepPoint,
     compare_membership,
     format_sweep,
+    membership_trial,
     sweep_ap_density,
     sweep_conduit_width,
     sweep_weight_exponent,
@@ -12,7 +13,7 @@ from .ablations import (
 from .baselines_exp import SchemeSummary, format_baselines, run_baseline_comparison
 from .bridging import BridgingResult, format_bridging, run_bridging
 from .calibration import CalibrationResult, GapBin, format_calibration, run_calibration
-from .capacity import CapacityPoint, format_capacity, run_capacity_sweep
+from .capacity import CapacityPoint, capacity_point, format_capacity, run_capacity_sweep
 from .common import (
     METRO_BUILDING_ID_SPACE,
     PAPER_AP_DENSITY,
@@ -20,10 +21,18 @@ from .common import (
     PAPER_TRANSMISSION_RANGE,
     DeliveryResult,
     World,
+    WorldSpec,
     attempt_delivery,
     build_world,
     build_world_from_city,
     sample_building_pairs,
+)
+from .parallel import (
+    DeliveryTrial,
+    TrialRunner,
+    delivery_trial,
+    delivery_trials,
+    seed_for,
 )
 from .export import export_all
 from .fig1 import Fig1Area, fig1_series, format_fig1, run_fig1
@@ -52,6 +61,7 @@ __all__ = [
     "AttackOutcome",
     "CompromisePoint",
     "DeliveryResult",
+    "DeliveryTrial",
     "Fig1Area",
     "Fig2Area",
     "Fig5Result",
@@ -68,10 +78,15 @@ __all__ = [
     "SchemeSummary",
     "SweepPoint",
     "Table1Row",
+    "TrialRunner",
     "World",
+    "WorldSpec",
     "attempt_delivery",
     "build_world",
     "build_world_from_city",
+    "delivery_trial",
+    "delivery_trials",
+    "seed_for",
     "common_beyond",
     "export_all",
     "compare_membership",
@@ -109,6 +124,8 @@ __all__ = [
     "run_scaling",
     "run_table1",
     "sample_building_pairs",
+    "capacity_point",
+    "membership_trial",
     "sweep_ap_density",
     "sweep_conduit_width",
     "sweep_weight_exponent",

@@ -4,6 +4,11 @@ DESIGN.md calls out four knobs the paper fixes by fiat: the conduit
 width W (50 m), the cubed-distance edge weights, the AP density
 (1/200 m²), and building-level conduit membership.  Each sweep here
 quantifies what that choice buys.
+
+All sweeps run their delivery trials through a
+:class:`~repro.experiments.parallel.TrialRunner` with one
+deterministic seed per trial, so a sweep parallelised over workers
+returns exactly the serial result.
 """
 
 from __future__ import annotations
@@ -15,7 +20,8 @@ from ..analysis import format_table, percentile
 from ..buildgraph import NoRouteError
 from ..sim import ConduitPolicy, simulate_broadcast
 from ..sim.broadcast import PositionConduitPolicy
-from .common import World, attempt_delivery, build_world, sample_building_pairs
+from .common import DeliveryResult, World, build_world, sample_building_pairs
+from .parallel import DeliveryTrial, TrialRunner, delivery_trials
 
 
 @dataclass(frozen=True)
@@ -32,12 +38,11 @@ class SweepPoint:
         return self.delivered / self.attempted if self.attempted else 0.0
 
 
-def _run_pairs(world: World, pairs, rng) -> SweepPoint:
+def _aggregate(outcomes: list[DeliveryResult]) -> SweepPoint:
     delivered = 0
     overheads = []
     attempted = 0
-    for s, d in pairs:
-        outcome = attempt_delivery(world, s, d, rng)
+    for outcome in outcomes:
         if not outcome.reachable:
             continue
         attempted += 1
@@ -58,14 +63,19 @@ def sweep_conduit_width(
     widths: tuple[float, ...] = (25.0, 50.0, 75.0, 100.0, 150.0),
     seed: int = 0,
     pairs: int = 40,
+    runner: TrialRunner | None = None,
 ) -> list[SweepPoint]:
     """Deliverability and overhead vs conduit width W."""
+    runner = runner or TrialRunner()
     points = []
     for width in widths:
         world = build_world(city_name, seed=seed, conduit_width=width)
         rng = random.Random(seed + 5)
         pair_list = sample_building_pairs(world, pairs, rng)
-        point = _run_pairs(world, pair_list, rng)
+        outcomes = runner.run_deliveries(
+            world, delivery_trials(pair_list, base_seed=seed + 5)
+        )
+        point = _aggregate(outcomes)
         points.append(
             SweepPoint(width, point.delivered, point.attempted, point.median_overhead)
         )
@@ -77,14 +87,19 @@ def sweep_weight_exponent(
     exponents: tuple[float, ...] = (1.0, 2.0, 3.0),
     seed: int = 0,
     pairs: int = 40,
+    runner: TrialRunner | None = None,
 ) -> list[SweepPoint]:
     """Deliverability vs the edge-weight exponent (paper: cubed)."""
+    runner = runner or TrialRunner()
     points = []
     for exponent in exponents:
         world = build_world(city_name, seed=seed, weight_exponent=exponent)
         rng = random.Random(seed + 5)
         pair_list = sample_building_pairs(world, pairs, rng)
-        point = _run_pairs(world, pair_list, rng)
+        outcomes = runner.run_deliveries(
+            world, delivery_trials(pair_list, base_seed=seed + 5)
+        )
+        point = _aggregate(outcomes)
         points.append(
             SweepPoint(exponent, point.delivered, point.attempted, point.median_overhead)
         )
@@ -96,21 +111,25 @@ def sweep_ap_density(
     densities: tuple[float, ...] = (1 / 400, 1 / 300, 1 / 200, 1 / 100, 1 / 50),
     seed: int = 0,
     pairs: int = 40,
+    runner: TrialRunner | None = None,
 ) -> list[SweepPoint]:
     """Reachability+deliverability vs AP density (paper: 1/200 m²).
 
     Sweep points report the density as square metres per AP (so the
     paper's reference setting reads as 200).
     """
+    runner = runner or TrialRunner()
     points = []
     for density in densities:
         world = build_world(city_name, seed=seed, ap_density=density)
         rng = random.Random(seed + 5)
         pair_list = sample_building_pairs(world, pairs, rng)
+        outcomes = runner.run_deliveries(
+            world, delivery_trials(pair_list, base_seed=seed + 5)
+        )
         delivered = 0
         overheads = []
-        for s, d in pair_list:
-            outcome = attempt_delivery(world, s, d, rng)
+        for outcome in outcomes:
             if outcome.delivered:
                 delivered += 1
                 if outcome.overhead is not None:
@@ -137,41 +156,71 @@ class MembershipComparison:
     position_median_tx: float | None
 
 
+def membership_trial(
+    world: World, trial: DeliveryTrial
+) -> tuple[bool, int, bool, int] | None:
+    """Simulate one pair under both membership rules.
+
+    Returns ``(building_delivered, building_tx, position_delivered,
+    position_tx)``, or None when the pair is unreachable or unroutable.
+    Module-level so :class:`TrialRunner` can ship it to workers.
+    """
+    s, d = trial.src_building, trial.dst_building
+    if not world.graph.buildings_reachable(s, d):
+        return None
+    try:
+        plan = world.router.plan(s, d)
+    except (NoRouteError, KeyError):
+        return None
+    source_ap = world.graph.aps_in_building(s)[0]
+    rng = random.Random(trial.seed)
+    building_result = simulate_broadcast(
+        world.graph, source_ap, d, ConduitPolicy(plan.conduits, world.city), rng
+    )
+    position_result = simulate_broadcast(
+        world.graph, source_ap, d, PositionConduitPolicy(plan.conduits), rng
+    )
+    return (
+        building_result.delivered,
+        building_result.transmissions,
+        position_result.delivered,
+        position_result.transmissions,
+    )
+
+
 def compare_membership(
-    city_name: str = "gridport", seed: int = 0, pairs: int = 40
+    city_name: str = "gridport",
+    seed: int = 0,
+    pairs: int = 40,
+    runner: TrialRunner | None = None,
 ) -> MembershipComparison:
     """§4 attributes the 13x overhead to whole-building rebroadcast;
     this measures what the stricter AP-position rule would do."""
+    runner = runner or TrialRunner()
     world = build_world(city_name, seed=seed)
     rng = random.Random(seed + 5)
+    pair_list = sample_building_pairs(world, pairs, rng)
+    if runner.workers == 1:
+        # Batched prewarm: one Dijkstra tree per distinct source; the
+        # per-pair router.plan() calls then hit the route cache.  (With
+        # workers, each process plans its own chunk instead.)
+        world.building_graph.plan_routes(pair_list)
+    trials = delivery_trials(pair_list, base_seed=seed + 5)
+    results = runner.map(membership_trial, trials, spec=world.spec, world=world)
     b_delivered = p_delivered = attempted = 0
     b_tx: list[float] = []
     p_tx: list[float] = []
-    pair_list = sample_building_pairs(world, pairs, rng)
-    # Batched prewarm: one Dijkstra tree per distinct source; the
-    # per-pair router.plan() calls below then hit the route cache.
-    world.building_graph.plan_routes(pair_list)
-    for s, d in pair_list:
-        if not world.graph.buildings_reachable(s, d):
-            continue
-        try:
-            plan = world.router.plan(s, d)
-        except (NoRouteError, KeyError):
+    for result in results:
+        if result is None:
             continue
         attempted += 1
-        source_ap = world.graph.aps_in_building(s)[0]
-        building_result = simulate_broadcast(
-            world.graph, source_ap, d, ConduitPolicy(plan.conduits, world.city), rng
-        )
-        position_result = simulate_broadcast(
-            world.graph, source_ap, d, PositionConduitPolicy(plan.conduits), rng
-        )
-        if building_result.delivered:
+        building_delivered, building_tx, position_delivered, position_tx = result
+        if building_delivered:
             b_delivered += 1
-            b_tx.append(building_result.transmissions)
-        if position_result.delivered:
+            b_tx.append(building_tx)
+        if position_delivered:
             p_delivered += 1
-            p_tx.append(position_result.transmissions)
+            p_tx.append(position_tx)
     return MembershipComparison(
         building_delivered=b_delivered,
         position_delivered=p_delivered,

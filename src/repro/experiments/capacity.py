@@ -11,10 +11,13 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from functools import partial
+
 from ..analysis import format_table
 from ..buildgraph import NoRouteError
 from ..sim import ConduitPolicy, SimParams, poisson_workload, simulate_traffic
-from .common import World, build_world
+from .common import World, WorldSpec
+from .parallel import TrialRunner
 
 
 @dataclass(frozen=True)
@@ -32,17 +35,15 @@ class CapacityPoint:
         return self.delivered / self.offered if self.offered else 0.0
 
 
-def run_capacity_sweep(
-    city_name: str = "gridport",
-    rates: tuple[float, ...] = (0.5, 2.0, 8.0),
+def capacity_point(
+    world: World,
+    rate: float,
     duration_s: float = 20.0,
     seed: int = 0,
     jitter_s: float = 0.05,
-    world: World | None = None,
-) -> list[CapacityPoint]:
-    """Sweep offered load and measure the capacity curve."""
-    if world is None:
-        world = build_world(city_name, seed=seed)
+) -> CapacityPoint:
+    """Measure one offered-load level (self-contained per point, so
+    points can run on any worker in any order)."""
     ids = [b.id for b in world.city.buildings if world.graph.aps_in_building(b.id)]
 
     def make_policy(src: int, dst: int):
@@ -52,32 +53,49 @@ def run_capacity_sweep(
             return None
         return ConduitPolicy(plan.conduits, world.city)
 
-    points = []
-    for rate in rates:
-        rng = random.Random(seed + 7)
-        messages = poisson_workload(
-            world.graph, ids, rate_per_s=rate, duration_s=duration_s,
-            make_policy=make_policy, rng=rng,
-        )
-        result = simulate_traffic(
-            world.graph, messages, rng,
-            params=SimParams(jitter_s=jitter_s, max_sim_time_s=duration_s * 2),
-        )
-        delays = [
-            o.delivery_time_s
-            for o in result.outcomes.values()
-            if o.delivered and o.delivery_time_s is not None
-        ]
-        points.append(
-            CapacityPoint(
-                rate_per_s=rate,
-                offered=result.offered,
-                delivered=result.delivered,
-                collision_rate=result.collision_rate,
-                mean_delay_s=sum(delays) / len(delays) if delays else None,
-            )
-        )
-    return points
+    rng = random.Random(seed + 7)
+    messages = poisson_workload(
+        world.graph, ids, rate_per_s=rate, duration_s=duration_s,
+        make_policy=make_policy, rng=rng,
+    )
+    result = simulate_traffic(
+        world.graph, messages, rng,
+        params=SimParams(jitter_s=jitter_s, max_sim_time_s=duration_s * 2),
+    )
+    delays = [
+        o.delivery_time_s
+        for o in result.outcomes.values()
+        if o.delivered and o.delivery_time_s is not None
+    ]
+    return CapacityPoint(
+        rate_per_s=rate,
+        offered=result.offered,
+        delivered=result.delivered,
+        collision_rate=result.collision_rate,
+        mean_delay_s=sum(delays) / len(delays) if delays else None,
+    )
+
+
+def run_capacity_sweep(
+    city_name: str = "gridport",
+    rates: tuple[float, ...] = (0.5, 2.0, 8.0),
+    duration_s: float = 20.0,
+    seed: int = 0,
+    jitter_s: float = 0.05,
+    world: World | None = None,
+    runner: TrialRunner | None = None,
+) -> list[CapacityPoint]:
+    """Sweep offered load and measure the capacity curve.
+
+    Each rate point is an independent simulation; with a parallel
+    ``runner`` the points fan out over workers (rebuilding the world
+    from its spec per process) and come back in ``rates`` order.
+    """
+    runner = runner or TrialRunner()
+    fn = partial(capacity_point, duration_s=duration_s, seed=seed, jitter_s=jitter_s)
+    if world is None:
+        return runner.map(fn, list(rates), spec=WorldSpec(city_name, seed=seed))
+    return runner.map(fn, list(rates), spec=world.spec, world=world)
 
 
 def format_capacity(points: list[CapacityPoint]) -> str:

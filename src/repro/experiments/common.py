@@ -22,12 +22,51 @@ METRO_BUILDING_ID_SPACE = 100_000
 
 @dataclass
 class World:
-    """One fully built simulation world."""
+    """One fully built simulation world.
+
+    ``spec`` records the recipe the world was built from when it came
+    out of :func:`build_world`; parallel trial runners ship the spec to
+    worker processes (worlds are expensive and full of cross-linked
+    geometry — rebuilding from the spec is cheaper and deterministic).
+    """
 
     city: City
     graph: APGraph
     building_graph: BuildingGraph
     router: BuildingRouter
+    spec: "WorldSpec | None" = None
+
+
+@dataclass(frozen=True)
+class WorldSpec:
+    """Everything needed to rebuild a preset-city world, hashably.
+
+    The spec is the unit of identity for per-worker world caches: two
+    equal specs build bit-identical worlds (all construction randomness
+    flows from ``seed``).
+    """
+
+    city_name: str
+    seed: int = 0
+    transmission_range: float = PAPER_TRANSMISSION_RANGE
+    ap_density: float = PAPER_AP_DENSITY
+    conduit_width: float = PAPER_CONDUIT_WIDTH
+    weight_exponent: float = 3.0
+    metro_id_space: bool = False
+
+    def build(self) -> World:
+        """Materialise the world this spec describes."""
+        world = build_world_from_city(
+            make_city(self.city_name, seed=self.seed),
+            seed=self.seed,
+            transmission_range=self.transmission_range,
+            ap_density=self.ap_density,
+            conduit_width=self.conduit_width,
+            weight_exponent=self.weight_exponent,
+            metro_id_space=self.metro_id_space,
+        )
+        world.spec = self
+        return world
 
 
 def build_world(
@@ -40,15 +79,15 @@ def build_world(
     metro_id_space: bool = False,
 ) -> World:
     """Build a preset city, its AP mesh, and a router."""
-    return build_world_from_city(
-        make_city(city_name, seed=seed),
+    return WorldSpec(
+        city_name=city_name,
         seed=seed,
         transmission_range=transmission_range,
         ap_density=ap_density,
         conduit_width=conduit_width,
         weight_exponent=weight_exponent,
         metro_id_space=metro_id_space,
-    )
+    ).build()
 
 
 def build_world_from_city(
@@ -89,12 +128,30 @@ def sample_building_pairs(
     ]
     if len(ids) < 2:
         raise ValueError("city has too few AP-bearing buildings to sample pairs")
+    total = len(ids) * (len(ids) - 1)
+    if count > total:
+        raise ValueError(
+            f"asked for {count} pairs but the city only has {total} "
+            "distinct AP-bearing ordered pairs"
+        )
     pairs: set[tuple[int, int]] = set()
     attempts = 0
     while len(pairs) < count and attempts < count * 50:
         attempts += 1
         s, d = rng.sample(ids, 2)
         pairs.add((s, d))
+    if len(pairs) < count:
+        # The rejection budget ran out (tiny id pools spend it on
+        # collisions).  Top up deterministically so the sweep size is
+        # exactly what the experiment asked for.
+        for s in ids:
+            for d in ids:
+                if s != d and (s, d) not in pairs:
+                    pairs.add((s, d))
+                    if len(pairs) == count:
+                        break
+            if len(pairs) == count:
+                break
     return list(pairs)
 
 

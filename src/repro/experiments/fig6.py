@@ -14,7 +14,8 @@ from dataclasses import dataclass
 
 from ..analysis import format_table, percentile
 from ..city import preset_names
-from .common import World, attempt_delivery, build_world, sample_building_pairs
+from .common import World, build_world, sample_building_pairs
+from .parallel import TrialRunner, delivery_trials
 
 
 @dataclass(frozen=True)
@@ -44,19 +45,28 @@ def run_fig6_city(
     seed: int = 0,
     reach_pairs: int = 1000,
     delivery_pairs: int = 50,
+    runner: TrialRunner | None = None,
 ) -> Fig6Row:
-    """Evaluate one city: reachability sweep then event-sim deliveries."""
+    """Evaluate one city: reachability sweep then event-sim deliveries.
+
+    Deliveries run through ``runner`` (in-process by default) with one
+    deterministic seed per trial, so the row is identical for any
+    worker count.
+    """
     rng = random.Random(seed + 1)
     pairs = sample_building_pairs(world, reach_pairs, rng)
     reachable = [
         (s, d) for s, d in pairs if world.graph.buildings_reachable(s, d)
     ]
     delivery_sample = reachable[:delivery_pairs]
+    if runner is None:
+        runner = TrialRunner()
+    outcomes = runner.run_deliveries(
+        world, delivery_trials(delivery_sample, base_seed=seed + 2)
+    )
     delivered = 0
     overheads: list[float] = []
-    sim_rng = random.Random(seed + 2)
-    for s, d in delivery_sample:
-        outcome = attempt_delivery(world, s, d, sim_rng)
+    for outcome in outcomes:
         if outcome.delivered:
             delivered += 1
             if outcome.overhead is not None:
@@ -77,16 +87,26 @@ def run_fig6(
     cities: list[str] | None = None,
     reach_pairs: int = 1000,
     delivery_pairs: int = 50,
+    workers: int = 1,
 ) -> list[Fig6Row]:
-    """Regenerate Figure 6 across the city presets."""
+    """Regenerate Figure 6 across the city presets.
+
+    ``workers`` > 1 fans the per-city delivery simulations out over
+    processes; results are identical to the serial run.
+    """
     rows = []
-    for name in cities if cities is not None else preset_names():
-        world = build_world(name, seed=seed)
-        rows.append(
-            run_fig6_city(
-                world, seed=seed, reach_pairs=reach_pairs, delivery_pairs=delivery_pairs
+    with TrialRunner(workers=workers) as runner:
+        for name in cities if cities is not None else preset_names():
+            world = build_world(name, seed=seed)
+            rows.append(
+                run_fig6_city(
+                    world,
+                    seed=seed,
+                    reach_pairs=reach_pairs,
+                    delivery_pairs=delivery_pairs,
+                    runner=runner,
+                )
             )
-        )
     return rows
 
 

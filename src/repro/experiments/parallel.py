@@ -1,0 +1,289 @@
+"""Parallel trial harness for the experiment sweeps.
+
+Every paper artifact is a sweep of independent trials: hundreds of
+:func:`~repro.experiments.common.attempt_delivery` runs, one per
+sampled building pair.  :class:`TrialRunner` fans those trials out over
+``multiprocessing`` workers while keeping the output **independent of
+the worker count**:
+
+- trials are seeded individually via :func:`seed_for` (a stable
+  keyed hash of ``(base_seed, trial_index)``) instead of sharing one
+  sequential RNG, so a trial's randomness does not depend on which
+  worker runs it or in which order;
+- worlds never cross the process boundary — workers rebuild them from
+  a hashable :class:`~repro.experiments.common.WorldSpec` (cheap and
+  deterministic) and cache them per process, primed by the pool
+  initializer;
+- submission is chunked, and chunk results are merged back in
+  submission order.
+
+``workers=1`` (the default) runs everything in-process — no pool, no
+pickling — which is the mode to debug under.  Timing and throughput
+counters are exposed via :meth:`TrialRunner.stats`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import random
+import time
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Callable, Iterable, Sequence
+
+from ..sim import SimParams
+from .common import DeliveryResult, World, WorldSpec, attempt_delivery
+
+
+def seed_for(base_seed: int, trial_index: int) -> int:
+    """A deterministic, platform-stable 63-bit seed for one trial.
+
+    Derived by hashing rather than by offsetting so that nearby trial
+    indices get statistically unrelated RNG streams, and so the value
+    is identical across processes and platforms (``hash()`` is not).
+    """
+    digest = hashlib.blake2b(
+        f"{base_seed}:{trial_index}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") >> 1
+
+
+@dataclass(frozen=True)
+class DeliveryTrial:
+    """One independently seeded delivery attempt."""
+
+    src_building: int
+    dst_building: int
+    seed: int
+
+
+def delivery_trials(
+    pairs: Iterable[tuple[int, int]], base_seed: int
+) -> list[DeliveryTrial]:
+    """Wrap building pairs as trials with per-trial deterministic seeds."""
+    return [
+        DeliveryTrial(s, d, seed_for(base_seed, i))
+        for i, (s, d) in enumerate(pairs)
+    ]
+
+
+def delivery_trial(
+    world: World, trial: DeliveryTrial, params: SimParams | None = None
+) -> DeliveryResult:
+    """Run one delivery attempt from its own seeded RNG."""
+    return attempt_delivery(
+        world,
+        trial.src_building,
+        trial.dst_building,
+        random.Random(trial.seed),
+        params=params,
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker-side plumbing (module level: everything here must pickle by
+# reference under both fork and spawn start methods).
+# ----------------------------------------------------------------------
+_WORKER_WORLDS: dict[WorldSpec, World] = {}
+
+
+def _worker_init(spec: WorldSpec | None) -> None:
+    """Pool initializer: prime this worker's world cache once."""
+    if spec is not None and spec not in _WORKER_WORLDS:
+        _WORKER_WORLDS[spec] = spec.build()
+
+
+def _worker_world(spec: WorldSpec) -> World:
+    world = _WORKER_WORLDS.get(spec)
+    if world is None:
+        world = spec.build()
+        _WORKER_WORLDS[spec] = world
+    return world
+
+
+def _run_chunk(
+    payload: tuple[Callable[..., Any], WorldSpec | None, list[Any]]
+) -> list[Any]:
+    """Run one chunk of trials against this worker's cached world."""
+    fn, spec, chunk = payload
+    if spec is None:
+        return [fn(item) for item in chunk]
+    world = _worker_world(spec)
+    return [fn(world, item) for item in chunk]
+
+
+class TrialRunner:
+    """Fan independent experiment trials out over worker processes.
+
+    Args:
+        workers: process count; ``1`` runs in-process (no pool).
+        chunk_size: trials per submitted chunk; default balances ~4
+            chunks per worker.
+        start_method: ``multiprocessing`` start method override (the
+            platform default — fork on Linux — is used when None).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        start_method: str | None = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self._start_method = start_method
+        self._pool = None
+        self._local_worlds: dict[WorldSpec, World] = {}
+        self._stats: dict[str, float] = {
+            "runs": 0,
+            "trials": 0,
+            "chunks": 0,
+            "total_s": 0.0,
+            "serial_runs": 0,
+            "parallel_runs": 0,
+            "last_run_s": 0.0,
+            "last_trials": 0,
+            "last_trials_per_s": 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "TrialRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _ensure_pool(self, spec: WorldSpec | None):
+        if self._pool is None:
+            ctx = (
+                multiprocessing.get_context(self._start_method)
+                if self._start_method
+                else multiprocessing.get_context()
+            )
+            self._pool = ctx.Pool(
+                processes=self.workers,
+                initializer=_worker_init,
+                initargs=(spec,),
+            )
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[..., Any],
+        items: Sequence[Any],
+        spec: WorldSpec | None = None,
+        world: World | None = None,
+    ) -> list[Any]:
+        """Ordered parallel map over independent trial items.
+
+        ``fn`` must be a module-level callable (or ``functools.partial``
+        of one).  With a ``spec`` (or a ``world`` carrying one), each
+        call receives ``fn(world, item)`` against the per-process cached
+        world; otherwise ``fn(item)``.  Results always come back in
+        ``items`` order, whatever the worker count.
+        """
+        items = list(items)
+        if spec is None and world is not None:
+            spec = world.spec
+        started = time.perf_counter()
+        if self.workers == 1 or len(items) <= 1:
+            results = self._map_serial(fn, items, spec, world)
+            mode = "serial_runs"
+        else:
+            results = self._map_parallel(fn, items, spec, world)
+            mode = "parallel_runs"
+        elapsed = time.perf_counter() - started
+        s = self._stats
+        s["runs"] += 1
+        s[mode] += 1
+        s["trials"] += len(items)
+        s["total_s"] += elapsed
+        s["last_run_s"] = elapsed
+        s["last_trials"] = len(items)
+        s["last_trials_per_s"] = len(items) / elapsed if elapsed > 0 else 0.0
+        return results
+
+    def _map_serial(
+        self,
+        fn: Callable[..., Any],
+        items: list[Any],
+        spec: WorldSpec | None,
+        world: World | None,
+    ) -> list[Any]:
+        if spec is None and world is None:
+            return [fn(item) for item in items]
+        if world is None:
+            world = self._local_worlds.get(spec)
+            if world is None:
+                world = spec.build()
+                self._local_worlds[spec] = world
+        return [fn(world, item) for item in items]
+
+    def _map_parallel(
+        self,
+        fn: Callable[..., Any],
+        items: list[Any],
+        spec: WorldSpec | None,
+        world: World | None,
+    ) -> list[Any]:
+        if world is not None and spec is None:
+            raise ValueError(
+                "parallel runs need a WorldSpec to rebuild worlds in "
+                "workers; this World was not built from one (use "
+                "build_world/WorldSpec.build, or workers=1)"
+            )
+        chunk = self.chunk_size or max(
+            1, -(-len(items) // (self.workers * 4))
+        )
+        payloads = [
+            (fn, spec, items[i : i + chunk]) for i in range(0, len(items), chunk)
+        ]
+        self._stats["chunks"] += len(payloads)
+        pool = self._ensure_pool(spec)
+        # Pool.map preserves submission order, so the merged output is
+        # independent of which worker ran which chunk.
+        chunked = pool.map(_run_chunk, payloads, chunksize=1)
+        return [result for chunk_results in chunked for result in chunk_results]
+
+    def run_deliveries(
+        self,
+        world: World | WorldSpec,
+        trials: Sequence[DeliveryTrial],
+        params: SimParams | None = None,
+    ) -> list[DeliveryResult]:
+        """Run delivery trials against one world, in trial order."""
+        fn: Callable[..., Any] = delivery_trial
+        if params is not None:
+            fn = partial(delivery_trial, params=params)
+        if isinstance(world, WorldSpec):
+            return self.map(fn, trials, spec=world)
+        return self.map(fn, trials, spec=world.spec, world=world)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, float]:
+        """Timing/throughput counters (cumulative plus last-run)."""
+        s = dict(self._stats)
+        s["workers"] = self.workers
+        s["trials_per_s"] = (
+            s["trials"] / s["total_s"] if s["total_s"] > 0 else 0.0
+        )
+        return s

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis import format_table
+from .parallel import TrialRunner
 
 # Protocol constants (first-order, from the respective specifications).
 DSDV_PERIOD_S = 15.0           # full-dump interval
@@ -98,9 +99,15 @@ def control_load(
 
 def run_scaling(
     sizes: tuple[int, ...] = (1_000, 10_000, 100_000, 1_000_000),
+    runner: TrialRunner | None = None,
 ) -> list[ScalingRow]:
-    """The §5 scaling table across network sizes."""
-    return [control_load(n) for n in sizes]
+    """The §5 scaling table across network sizes.
+
+    Each size is independent, so the rows run through the shared trial
+    runner (in-process by default; rows return in ``sizes`` order for
+    any worker count).
+    """
+    return (runner or TrialRunner()).map(control_load, list(sizes))
 
 
 def format_scaling(rows: list[ScalingRow]) -> str:

@@ -11,7 +11,7 @@ from .analysis import (
     table1_row,
 )
 from .scanner import Scan, ScanDataset, mac_address, run_survey
-from .study import AreaSpec, area_specs, run_study
+from .study import AREA_NAMES, AreaSpec, area_specs, run_study, survey_area
 from .trajectory import Trajectory, grid_walk, line_walk, random_walk
 
 __all__ = [
@@ -32,7 +32,9 @@ __all__ = [
     "mac_address",
     "macs_per_scan_cdf",
     "random_walk",
+    "AREA_NAMES",
     "run_study",
+    "survey_area",
     "run_survey",
     "spread_cdf",
     "table1_row",

@@ -90,6 +90,23 @@ class APGraph:
         """Planar position of an AP."""
         return self.aps[ap_id].position
 
+    def adjacency_lists(self) -> list[list[int]]:
+        """The full integer adjacency structure, indexed by AP id.
+
+        This is the graph's own storage (do not mutate).  The fast-path
+        broadcast kernel pulls it once so its hot loop runs over plain
+        ``list[list[int]]`` with no method dispatch per transmission.
+        """
+        return self._adjacency
+
+    def building_id_list(self) -> list[int]:
+        """``building_id`` per AP as a flat list indexed by AP id."""
+        cached = getattr(self, "_building_id_list", None)
+        if cached is None:
+            cached = [ap.building_id for ap in self.aps]
+            self._building_id_list = cached
+        return cached
+
     def aps_in_building(self, building_id: int) -> list[int]:
         """Ids of APs placed inside the given building (possibly empty)."""
         return self._by_building.get(building_id, [])

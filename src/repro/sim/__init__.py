@@ -19,6 +19,7 @@ from .broadcast import (
     transmission_overhead,
 )
 from .engine import Environment, Event, Process, SimulationError, Timeout, all_of
+from .fastpath import simulate_broadcast_fast
 from .radio import (
     DEFAULT_JITTER_S,
     DEFAULT_TX_DELAY_S,
@@ -53,6 +54,7 @@ __all__ = [
     "all_of",
     "poisson_workload",
     "simulate_broadcast",
+    "simulate_broadcast_fast",
     "simulate_broadcast_with_collisions",
     "simulate_traffic",
     "transmission_overhead",

@@ -11,6 +11,7 @@ overhead metric.
 from __future__ import annotations
 
 import random
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -158,6 +159,7 @@ def simulate_broadcast(
     radio: UnitDiskRadio | None = None,
     params: SimParams | None = None,
     compromised: frozenset[int] = frozenset(),
+    fast: bool = True,
 ) -> BroadcastResult:
     """Simulate one packet's life through the mesh.
 
@@ -171,10 +173,27 @@ def simulate_broadcast(
         radio: propagation model; defaults to a lossless unit disk.
         params: timing knobs.
         compromised: APs that receive but silently drop (blackholes).
+        fast: dispatch to the specialised kernel in
+            :mod:`repro.sim.fastpath` (seeded results are identical);
+            ``False`` runs the reference generator/callback engine,
+            kept as the oracle for the equivalence tests.
 
     Returns:
         The delivery outcome and transmission accounting.
     """
+    if fast:
+        from .fastpath import simulate_broadcast_fast
+
+        return simulate_broadcast_fast(
+            graph,
+            source_ap,
+            dest_building,
+            policy,
+            rng,
+            radio=radio,
+            params=params,
+            compromised=compromised,
+        )
     if radio is None:
         radio = UnitDiskRadio()
     if params is None:
@@ -182,8 +201,10 @@ def simulate_broadcast(
     env = Environment()
     aps = graph.aps
     seen: set[int] = set()
-    copies: dict[int, int] = {}  # copies heard per AP (for suppression)
+    copies: defaultdict[int, int] = defaultdict(int)  # copies heard per AP
     threshold = params.suppression_threshold
+    neighbors = graph.neighbors
+    receptions_of = radio.receptions
     result = BroadcastResult(
         delivered=False,
         delivery_time_s=None,
@@ -193,14 +214,14 @@ def simulate_broadcast(
     )
 
     def transmit(ap_id: int) -> None:
-        if threshold is not None and copies.get(ap_id, 0) >= threshold:
+        if threshold is not None and copies[ap_id] >= threshold:
             # Enough duplicate copies arrived during the jitter window:
             # the neighbourhood is provably covered, stay quiet.
             result.suppressed += 1
             return
         result.transmissions += 1
         result.transmitters.add(ap_id)
-        for reception in radio.receptions(graph.neighbors(ap_id), rng):
+        for reception in receptions_of(neighbors(ap_id), rng):
             ev = env.timeout(reception.delay_s)
             ev.callbacks.append(
                 lambda _e, receiver=reception.receiver_id: receive(receiver)
@@ -208,7 +229,7 @@ def simulate_broadcast(
 
     def receive(ap_id: int) -> None:
         result.receptions += 1
-        copies[ap_id] = copies.get(ap_id, 0) + 1
+        copies[ap_id] += 1
         if ap_id in seen:
             result.duplicates += 1
             return

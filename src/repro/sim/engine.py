@@ -250,9 +250,14 @@ def all_of(env: Environment, events: Iterable[Event]) -> Event:
     def make_callback(i: int) -> Callable[[Event], None]:
         def callback(ev: Event) -> None:
             nonlocal remaining
-            values[i] = ev.value if ev.ok else ev.value
+            if done.triggered:
+                return  # a failed input already decided the aggregate
+            if not ev.ok:
+                done.fail(ev.value)
+                return
+            values[i] = ev.value
             remaining -= 1
-            if remaining == 0 and not done.triggered:
+            if remaining == 0:
                 done.succeed(values)
 
         return callback

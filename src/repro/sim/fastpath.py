@@ -1,0 +1,199 @@
+"""Fast-path broadcast kernel: the reference semantics, none of the DES.
+
+:func:`simulate_broadcast_fast` produces results **identical** to the
+reference :func:`repro.sim.broadcast.simulate_broadcast` (``fast=False``)
+for the same seed and parameters, but skips the generic
+``Environment``/``Event``/``Process`` machinery entirely:
+
+- the event queue is a flat ``heapq`` of ``(time, seq, kind, ap_id)``
+  tuples — no ``Timeout`` objects, no callback lambdas, no dispatch;
+- adjacency is pulled once from :class:`~repro.mesh.APGraph` as plain
+  integer lists (:meth:`~repro.mesh.APGraph.adjacency_lists`), so the
+  hot loop never touches a method;
+- rebroadcast verdicts for stateless policies (flood, conduit,
+  position-conduit) are resolved to a per-AP bitmap up front, memoising
+  :class:`~repro.sim.broadcast.ConduitPolicy` across all APs of a
+  building before the run;
+- the built-in radios (:class:`UnitDiskRadio`, :class:`LossyRadio`)
+  are inlined.
+
+Determinism contract: RNG draws are consumed in exactly the order the
+reference engine consumes them (per-neighbour loss draws at transmit
+time, gossip/jitter draws at reception time), and the ``seq`` counter
+increments exactly when the reference allocates a ``Timeout``, so the
+tie-break order of simultaneous events matches and seeded runs are
+bit-for-bit reproducible against the reference.  Stateful or
+user-supplied policies and radios fall back to the same lazy calls the
+reference makes, preserving the contract for them too.
+"""
+
+from __future__ import annotations
+
+import random
+from heapq import heappop, heappush
+
+from ..mesh import APGraph
+from .broadcast import (
+    BroadcastResult,
+    ConduitPolicy,
+    FloodPolicy,
+    PositionConduitPolicy,
+    RebroadcastPolicy,
+    SimParams,
+)
+from .radio import LossyRadio, UnitDiskRadio
+
+_RECEIVE = 0
+_TRANSMIT = 1
+
+
+def _precomputed_verdicts(
+    policy: RebroadcastPolicy, graph: APGraph
+) -> bytearray | None:
+    """Per-AP rebroadcast bitmap for stateless policies, else None.
+
+    Only exact types are eligible: a subclass may override
+    ``should_rebroadcast`` with state (as :class:`GossipPolicy` does),
+    in which case the caller must evaluate lazily, in reference order.
+    """
+    kind = type(policy)
+    aps = graph.aps
+    if kind is FloodPolicy:
+        return bytearray(b"\x01" * len(aps))
+    if kind is ConduitPolicy:
+        # One geometry test per building (the policy memoises), splatted
+        # across every AP of that building before the run starts.
+        should = policy.should_rebroadcast
+        return bytearray(1 if should(ap) else 0 for ap in aps)
+    if kind is PositionConduitPolicy:
+        contains = policy.conduits.contains
+        return bytearray(1 if contains(ap.position) else 0 for ap in aps)
+    return None
+
+
+def simulate_broadcast_fast(
+    graph: APGraph,
+    source_ap: int,
+    dest_building: int,
+    policy: RebroadcastPolicy,
+    rng: random.Random,
+    radio: UnitDiskRadio | None = None,
+    params: SimParams | None = None,
+    compromised: frozenset[int] = frozenset(),
+) -> BroadcastResult:
+    """Drop-in fast replacement for the reference ``simulate_broadcast``.
+
+    Same arguments, same semantics, same seeded results; see the module
+    docstring for the equivalence contract.
+    """
+    if radio is None:
+        radio = UnitDiskRadio()
+    if params is None:
+        params = SimParams()
+    aps = graph.aps
+    adjacency = graph.adjacency_lists()
+    building_ids = graph.building_id_list()
+    n = len(aps)
+
+    threshold = params.suppression_threshold
+    jitter = params.jitter_s
+    max_time = params.max_sim_time_s
+    bounded = max_time != float("inf")
+
+    radio_kind = type(radio)
+    unit_disk = radio_kind is UnitDiskRadio
+    lossy = radio_kind is LossyRadio
+    tx_delay = radio.tx_delay_s if (unit_disk or lossy) else 0.0
+    loss_p = radio.loss_probability if lossy else 0.0
+
+    verdicts = _precomputed_verdicts(policy, graph)
+    blackholes = compromised if compromised else None
+
+    seen = bytearray(n)
+    copies = [0] * n if threshold is not None else None
+    heap: list[tuple[float, int, int, int]] = []
+    seq = 0
+    transmissions = receptions = duplicates = suppressed = 0
+    transmitters: set[int] = set()
+    heard: set[int] = set()
+    delivered = False
+    delivery_time: float | None = None
+
+    rng_random = rng.random
+    rng_uniform = rng.uniform
+    push = heappush
+
+    def do_transmit(now: float, ap_id: int) -> None:
+        nonlocal transmissions, suppressed, seq
+        if copies is not None and copies[ap_id] >= threshold:
+            suppressed += 1
+            return
+        transmissions += 1
+        transmitters.add(ap_id)
+        if unit_disk:
+            t = now + tx_delay
+            for v in adjacency[ap_id]:
+                push(heap, (t, seq, _RECEIVE, v))
+                seq += 1
+        elif lossy:
+            t = now + tx_delay
+            for v in adjacency[ap_id]:
+                if rng_random() >= loss_p:
+                    push(heap, (t, seq, _RECEIVE, v))
+                    seq += 1
+        else:
+            for rec in radio.receptions(adjacency[ap_id], rng):
+                push(heap, (now + rec.delay_s, seq, _RECEIVE, rec.receiver_id))
+                seq += 1
+
+    # Source bookkeeping mirrors the reference: it counts as having the
+    # packet, delivers locally when already in the destination building,
+    # and always transmits once at t=0.
+    seen[source_ap] = 1
+    heard.add(source_ap)
+    if building_ids[source_ap] == dest_building:
+        delivered = True
+        delivery_time = 0.0
+    do_transmit(0.0, source_ap)
+
+    while heap:
+        time = heap[0][0]
+        if bounded and time > max_time:
+            break
+        time, _, kind, ap_id = heappop(heap)
+        if kind == _RECEIVE:
+            receptions += 1
+            if copies is not None:
+                copies[ap_id] += 1
+            if seen[ap_id]:
+                duplicates += 1
+                continue
+            seen[ap_id] = 1
+            heard.add(ap_id)
+            if not delivered and building_ids[ap_id] == dest_building:
+                delivered = True
+                delivery_time = time
+            if blackholes is not None and ap_id in blackholes:
+                continue
+            verdict = (
+                verdicts[ap_id]
+                if verdicts is not None
+                else policy.should_rebroadcast(aps[ap_id])
+            )
+            if verdict:
+                delay = rng_uniform(0.0, jitter) if jitter > 0 else 0.0
+                push(heap, (time + delay, seq, _TRANSMIT, ap_id))
+                seq += 1
+        else:
+            do_transmit(time, ap_id)
+
+    return BroadcastResult(
+        delivered=delivered,
+        delivery_time_s=delivery_time,
+        transmissions=transmissions,
+        receptions=receptions,
+        duplicates=duplicates,
+        suppressed=suppressed,
+        transmitters=transmitters,
+        heard=heard,
+    )

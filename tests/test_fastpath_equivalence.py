@@ -1,0 +1,237 @@
+"""Seeded equivalence: the fastpath kernel must reproduce the reference
+engine bit-for-bit for every policy/radio/suppression combination."""
+
+import random
+
+import pytest
+
+from repro.city import Building, City
+from repro.core import BuildingRouter
+from repro.experiments import build_world
+from repro.geometry import Point, Polygon
+from repro.mesh import APGraph, AccessPoint
+from repro.sim import (
+    ConduitPolicy,
+    FloodPolicy,
+    GossipPolicy,
+    LossyRadio,
+    SimParams,
+    simulate_broadcast,
+    simulate_broadcast_fast,
+)
+from repro.sim.broadcast import PositionConduitPolicy
+
+RESULT_FIELDS = (
+    "delivered",
+    "delivery_time_s",
+    "transmissions",
+    "receptions",
+    "duplicates",
+    "suppressed",
+    "transmitters",
+    "heard",
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world("gridport", seed=0)
+
+
+@pytest.fixture(scope="module")
+def endpoints(world):
+    src_building = world.city.buildings[0].id
+    dst_building = world.city.buildings[-1].id
+    source_ap = world.graph.aps_in_building(src_building)[0]
+    return src_building, dst_building, source_ap
+
+
+@pytest.fixture(scope="module")
+def plan(world, endpoints):
+    src_building, dst_building, _ = endpoints
+    return world.router.plan(src_building, dst_building)
+
+
+def assert_identical(graph, source_ap, dest_building, policy_factory, seed,
+                     radio_factory=None, params=None, compromised=frozenset()):
+    """Run both kernels from identically seeded RNGs and compare all
+    result fields (including the transmitter/heard sets)."""
+    reference = simulate_broadcast(
+        graph, source_ap, dest_building, policy_factory(), random.Random(seed),
+        radio=radio_factory() if radio_factory else None,
+        params=params, compromised=compromised, fast=False,
+    )
+    fast = simulate_broadcast(
+        graph, source_ap, dest_building, policy_factory(), random.Random(seed),
+        radio=radio_factory() if radio_factory else None,
+        params=params, compromised=compromised, fast=True,
+    )
+    for field in RESULT_FIELDS:
+        assert getattr(reference, field) == getattr(fast, field), field
+    return reference
+
+
+class TestPolicyEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    def test_flood(self, world, endpoints, seed):
+        _, dst, src_ap = endpoints
+        result = assert_identical(world.graph, src_ap, dst, FloodPolicy, seed)
+        assert result.delivered  # gridport is connected: a real broadcast
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_conduit(self, world, endpoints, plan, seed):
+        _, dst, src_ap = endpoints
+        assert_identical(
+            world.graph, src_ap, dst,
+            lambda: ConduitPolicy(plan.conduits, world.city), seed,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_position_conduit(self, world, endpoints, plan, seed):
+        _, dst, src_ap = endpoints
+        assert_identical(
+            world.graph, src_ap, dst,
+            lambda: PositionConduitPolicy(plan.conduits), seed,
+        )
+
+    @pytest.mark.parametrize("p", [0.0, 0.3, 0.7, 1.0])
+    def test_gossip_own_rng(self, world, endpoints, p):
+        _, dst, src_ap = endpoints
+        assert_identical(
+            world.graph, src_ap, dst,
+            lambda: GossipPolicy(p, random.Random(99)), seed=4,
+        )
+
+    def test_gossip_sharing_the_sim_rng(self, world, endpoints):
+        """Hardest RNG-order case: the gossip draws interleave with the
+        jitter draws on one stream, so any reordering shows up."""
+        _, dst, src_ap = endpoints
+        results = []
+        for fast in (False, True):
+            rng = random.Random(123)
+            results.append(
+                simulate_broadcast(
+                    world.graph, src_ap, dst, GossipPolicy(0.5, rng), rng, fast=fast
+                )
+            )
+        for field in RESULT_FIELDS:
+            assert getattr(results[0], field) == getattr(results[1], field), field
+
+
+class TestParamsEquivalence:
+    @pytest.mark.parametrize("threshold", [1, 2, 3, 5])
+    def test_suppression_thresholds(self, world, endpoints, threshold):
+        _, dst, src_ap = endpoints
+        result = assert_identical(
+            world.graph, src_ap, dst, FloodPolicy, seed=2,
+            params=SimParams(suppression_threshold=threshold),
+        )
+        if threshold <= 2:
+            assert result.suppressed > 0  # the knob actually engages
+
+    def test_zero_jitter(self, world, endpoints):
+        _, dst, src_ap = endpoints
+        assert_identical(
+            world.graph, src_ap, dst, FloodPolicy, seed=2,
+            params=SimParams(jitter_s=0.0),
+        )
+
+    def test_truncated_horizon(self, world, endpoints):
+        _, dst, src_ap = endpoints
+        result = assert_identical(
+            world.graph, src_ap, dst, FloodPolicy, seed=2,
+            params=SimParams(max_sim_time_s=0.01),
+        )
+        assert result.receptions > 0  # horizon cuts the run mid-flood
+
+    def test_unbounded_horizon(self, world, endpoints):
+        _, dst, src_ap = endpoints
+        assert_identical(
+            world.graph, src_ap, dst, FloodPolicy, seed=2,
+            params=SimParams(max_sim_time_s=float("inf")),
+        )
+
+    @pytest.mark.parametrize("loss", [0.1, 0.5])
+    def test_lossy_radio(self, world, endpoints, loss):
+        _, dst, src_ap = endpoints
+        assert_identical(
+            world.graph, src_ap, dst, FloodPolicy, seed=6,
+            radio_factory=lambda: LossyRadio(loss_probability=loss),
+        )
+
+    def test_lossy_radio_with_suppression_and_conduit(self, world, endpoints, plan):
+        _, dst, src_ap = endpoints
+        assert_identical(
+            world.graph, src_ap, dst,
+            lambda: ConduitPolicy(plan.conduits, world.city), seed=8,
+            radio_factory=lambda: LossyRadio(loss_probability=0.15),
+            params=SimParams(suppression_threshold=2),
+        )
+
+    def test_compromised_blackholes(self, world, endpoints):
+        _, dst, src_ap = endpoints
+        compromised = frozenset(range(0, len(world.graph), 7))
+        assert_identical(
+            world.graph, src_ap, dst, FloodPolicy, seed=3,
+            compromised=compromised,
+        )
+
+
+class TestEdgeCases:
+    def test_source_in_destination_building(self, world):
+        building = world.city.buildings[0].id
+        src_ap = world.graph.aps_in_building(building)[0]
+        result = assert_identical(world.graph, src_ap, building, FloodPolicy, 0)
+        assert result.delivered and result.delivery_time_s == 0.0
+
+    def test_custom_policy_falls_back_lazily(self, world, endpoints):
+        """An unknown policy type must go through the lazy path and
+        still match the reference exactly."""
+        _, dst, src_ap = endpoints
+
+        class EveryOther:
+            def should_rebroadcast(self, ap):
+                return ap.id % 2 == 0
+
+        assert_identical(world.graph, src_ap, dst, EveryOther, seed=1)
+
+    def test_disconnected_target(self):
+        aps = [
+            AccessPoint(0, Point(0, 0), 1),
+            AccessPoint(1, Point(40, 0), 2),
+            AccessPoint(2, Point(500, 0), 3),
+        ]
+        graph = APGraph(aps, transmission_range=50)
+        result = assert_identical(graph, 0, 3, FloodPolicy, 0)
+        assert not result.delivered
+
+    def test_conduit_end_to_end_small(self):
+        n, spacing = 6, 40.0
+        city = City(
+            "chain",
+            [
+                Building(i + 1, Polygon.rectangle(i * spacing - 5, -5, i * spacing + 5, 5))
+                for i in range(n)
+            ],
+        )
+        graph = APGraph(
+            [AccessPoint(i, Point(i * spacing, 0.0), i + 1) for i in range(n)],
+            transmission_range=50,
+        )
+        plan = BuildingRouter(city).plan(1, n)
+        result = assert_identical(
+            graph, 0, n, lambda: ConduitPolicy(plan.conduits, city), seed=0
+        )
+        assert result.delivered
+
+    def test_direct_fastpath_entrypoint(self, world, endpoints):
+        """simulate_broadcast_fast is callable directly too."""
+        _, dst, src_ap = endpoints
+        direct = simulate_broadcast_fast(
+            world.graph, src_ap, dst, FloodPolicy(), random.Random(0)
+        )
+        dispatched = simulate_broadcast(
+            world.graph, src_ap, dst, FloodPolicy(), random.Random(0)
+        )
+        for field in RESULT_FIELDS:
+            assert getattr(direct, field) == getattr(dispatched, field), field
