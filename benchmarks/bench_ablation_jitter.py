@@ -8,7 +8,7 @@ of a building transmits in the same slot and jams its neighbours.
 
 import random
 
-from repro.experiments import build_world, sample_building_pairs
+from repro.experiments import sample_building_pairs
 from repro.sim import ConduitPolicy, SimParams, simulate_broadcast_with_collisions
 
 

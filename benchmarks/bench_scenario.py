@@ -1,0 +1,93 @@
+"""Benchmark for the scenario engine: epochs/sec on a ≥5k-AP city.
+
+One flood-and-bridge timeline on a 16x16-block downtown (~7k APs):
+damage severs the grid at epoch 1, operators bridge the islands at
+epoch 2, and every epoch replans and re-simulates 16 flows.  The JSON
+perf record (printed at teardown and written to ``$SCENARIO_PERF_JSON``
+when set) carries the epochs/sec throughput plus the run's structural
+outcomes, so CI trends catch both performance and behaviour drift.
+
+The driver is timed on its own — the world build is excluded, exactly
+as it amortises over a real sweep.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.city import grid_downtown
+from repro.experiments import WorldSpec, build_world_from_city
+from repro.geometry import Point, Polygon
+from repro.scenario import Damage, DeployBridges, ScenarioDriver, ScenarioSpec
+
+BLOCKS = 16  # 16x16 blocks, pitch 104 m -> extent ~1650 m, ~7k APs
+EPOCHS = 5
+FLOWS = 16
+# Drown the two middle block rows (y in [728, 922] plus margins): the
+# remaining halves are >200 m apart, far beyond the 50 m radio range.
+FLOOD = Polygon(
+    (Point(-50.0, 715.0), Point(1750.0, 715.0),
+     Point(1750.0, 935.0), Point(-50.0, 935.0))
+)
+
+
+@pytest.fixture(scope="module")
+def big_world():
+    """A ~7k-AP downtown too large for any preset (built once)."""
+    return build_world_from_city(grid_downtown(seed=0, blocks_x=BLOCKS,
+                                               blocks_y=BLOCKS), seed=0)
+
+
+@pytest.fixture(scope="module")
+def perf_record():
+    """Accumulates measurements; dumped as one JSON record at teardown."""
+    record = {"bench": "scenario"}
+    yield record
+    record["timestamp"] = time.time()
+    payload = json.dumps(record, indent=2, sort_keys=True)
+    path = os.environ.get("SCENARIO_PERF_JSON")
+    if path:
+        with open(path, "w") as fh:
+            fh.write(payload + "\n")
+    print("\nSCENARIO_PERF_RECORD " + payload)
+
+
+def test_bench_scenario_epoch_throughput(big_world, perf_record):
+    n_aps = len(big_world.graph.aps)
+    assert n_aps >= 5_000, f"bench city too small: {n_aps} APs"
+
+    spec = ScenarioSpec(
+        name="bench-flood",
+        # Labels the seed streams only: the driver runs the injected
+        # world, which has no preset spec (hence the serial runner).
+        world=WorldSpec("gridport", seed=0),
+        epochs=EPOCHS,
+        epoch_hours=4.0,
+        events=(
+            Damage(epoch=1, area=FLOOD),
+            DeployBridges(epoch=2, min_island_size=5),
+        ),
+        flows=FLOWS,
+    )
+    with ScenarioDriver(spec, world=big_world) as driver:
+        t0 = time.perf_counter()
+        result = driver.run()
+        run_s = time.perf_counter() - t0
+
+    # Structural sanity: the timeline actually exercised the engine.
+    assert result.max_islands > 1
+    assert result.total_deployed_aps > 0
+    assert result.epochs[1].mutated and result.epochs[2].mutated
+
+    perf_record["n_aps"] = n_aps
+    perf_record["epochs"] = EPOCHS
+    perf_record["flows_per_epoch"] = FLOWS
+    perf_record["run_s"] = run_s
+    perf_record["epochs_per_s"] = EPOCHS / run_s
+    perf_record["total_replans"] = result.total_replans
+    perf_record["max_islands"] = result.max_islands
+    perf_record["deployed_aps"] = result.total_deployed_aps
+    perf_record["min_delivery_rate"] = result.min_delivery_rate
+    perf_record["final_delivery_rate"] = result.final_delivery_rate

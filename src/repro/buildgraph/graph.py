@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from ..geometry import GridIndex, Point, Polygon
 from .lru import LRUCache
@@ -347,14 +347,7 @@ class BuildingGraph:
         self._route_cache.clear()
         self._extremes_dirty = True
 
-    def remove_building(self, building_id: int) -> None:
-        """Drop a building (e.g. destroyed/compromised) and its edges.
-
-        Bumps :attr:`version` and invalidates the route cache.
-
-        Raises:
-            KeyError: if the building is not in the graph.
-        """
+    def _remove_building_no_bump(self, building_id: int) -> None:
         neighbors = self._adjacency.pop(building_id)
         for n in neighbors:
             del self._adjacency[n][building_id]
@@ -363,7 +356,91 @@ class BuildingGraph:
         del self._rings[building_id]
         del self._radii[building_id]
         self._index.remove(building_id)
+
+    def remove_building(self, building_id: int) -> None:
+        """Drop a building (e.g. destroyed/compromised) and its edges.
+
+        Bumps :attr:`version` and invalidates the route cache.
+
+        Raises:
+            KeyError: if the building is not in the graph.
+        """
+        self._remove_building_no_bump(building_id)
         self._mutated()
+
+    def _add_link_no_bump(
+        self, building_a: int, building_b: int, weight: float | None
+    ) -> None:
+        if building_a == building_b:
+            raise ValueError("a link needs two distinct buildings")
+        if building_a not in self._adjacency:
+            raise KeyError(building_a)
+        if building_b not in self._adjacency:
+            raise KeyError(building_b)
+        if weight is None:
+            d = self._centroids[building_a].distance_to(self._centroids[building_b])
+            weight = d ** self.weight_exponent
+        elif weight <= 0:
+            raise ValueError("link weight must be positive")
+        self._adjacency[building_a][building_b] = weight
+        self._adjacency[building_b][building_a] = weight
+
+    def add_link(
+        self, building_a: int, building_b: int, weight: float | None = None
+    ) -> None:
+        """Announce a link the map alone would not predict.
+
+        This models operator-deployed infrastructure — e.g. a chain of
+        bridge APs spanning a connectivity gap — being advertised to
+        senders so routes can cross it.  The weight defaults to centroid
+        distance raised to ``weight_exponent``, the same formula as
+        predicted edges; an existing edge's weight is overwritten.
+
+        Bumps :attr:`version` and invalidates the route cache.
+
+        Raises:
+            KeyError: if either endpoint is missing from the graph.
+            ValueError: for identical endpoints or a non-positive weight.
+        """
+        self._add_link_no_bump(building_a, building_b, weight)
+        self._mutated()
+
+    def patch(
+        self,
+        remove: Iterable[int] = (),
+        add_links: Iterable[tuple[int, int]] = (),
+    ) -> bool:
+        """Apply one epoch's worth of mutations atomically.
+
+        All removals and link announcements land under a **single**
+        version bump (or none at all when both iterables are empty), so
+        callers stepping a timeline invalidate the route/conduit caches
+        exactly once per mutating step instead of once per casualty.
+        Removals are applied before link announcements, so a patch may
+        both demolish a neighbourhood and announce the replacement
+        bridge in one step (links may not reference removed buildings).
+
+        Returns:
+            True when the graph mutated (and the version was bumped).
+
+        Raises:
+            KeyError: if a removal or link names an unknown building
+                (removals already applied are not rolled back, but the
+                version still bumps so caches stay coherent).
+            ValueError: for a self-link.
+        """
+        remove = list(remove)
+        add_links = list(add_links)
+        if not remove and not add_links:
+            return False
+        try:
+            for building_id in remove:
+                self._remove_building_no_bump(building_id)
+            for building_a, building_b in add_links:
+                self._add_link_no_bump(building_a, building_b, None)
+        finally:
+            self._mutated()
+        return True
 
     def add_building(self, building: "Building") -> None:
         """Insert a building and predict its edges via the spatial hash.

@@ -51,6 +51,7 @@ from .experiments import (
     sweep_weight_exponent,
 )
 from .measurement import run_study
+from .scenario import format_scenario, make_scenario, run_scenario, scenario_names
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -140,6 +141,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("scaling", help="per-node control traffic vs network size (section 5)")
     _add_common(p)
 
+    p = sub.add_parser(
+        "scenario", help="dynamic disaster timelines with fault injection"
+    )
+    scen = p.add_subparsers(dest="scenario_command", required=True)
+    sp = scen.add_parser("run", help="step a canned scenario and report per epoch")
+    _add_common(sp)
+    sp.add_argument("name", choices=scenario_names(), help="canned scenario")
+    sp.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full ScenarioResult as deterministic JSON",
+    )
+    scen.add_parser("list", help="list the canned scenarios")
+
     p = sub.add_parser("export", help="write every artefact as CSV/text files")
     _add_common(p)
     p.add_argument("--out", default="results")
@@ -154,7 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    seed = args.seed
+    seed = getattr(args, "seed", 0)
     with TrialRunner(workers=getattr(args, "workers", 1)) as runner:
         return _dispatch(args, seed, runner)
 
@@ -259,6 +274,18 @@ def _dispatch(args: argparse.Namespace, seed: int, runner: TrialRunner) -> int:
         print(format_replication(results))
     elif args.command == "scaling":
         print(format_scaling(run_scaling(runner=runner)))
+    elif args.command == "scenario":
+        if args.scenario_command == "list":
+            for name in scenario_names():
+                spec = make_scenario(name)
+                print(f"{name:22s} {spec.world.city_name:10s} "
+                      f"{spec.epochs} x {spec.epoch_hours:g} h  {spec.description}")
+        else:
+            result = run_scenario(make_scenario(args.name, seed=seed), runner=runner)
+            if args.json:
+                print(result.to_json(indent=2))
+            else:
+                print(format_scenario(result))
     elif args.command == "export":
         files = export_all(args.out, seed=seed, quick=args.quick)
         for path in files:

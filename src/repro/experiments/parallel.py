@@ -36,16 +36,24 @@ from ..sim import SimParams
 from .common import DeliveryResult, World, WorldSpec, attempt_delivery
 
 
-def seed_for(base_seed: int, trial_index: int) -> int:
+def seed_for(base_seed: int, trial_index: int, stream: str = "") -> int:
     """A deterministic, platform-stable 63-bit seed for one trial.
 
     Derived by hashing rather than by offsetting so that nearby trial
     indices get statistically unrelated RNG streams, and so the value
     is identical across processes and platforms (``hash()`` is not).
+
+    ``stream`` names an independent family of trials (e.g. one scenario
+    sweep's per-epoch flows, keyed by the scenario spec) so different
+    workloads sharing one base seed never collide; the empty default
+    reproduces the historical two-argument seeds exactly.
     """
-    digest = hashlib.blake2b(
-        f"{base_seed}:{trial_index}".encode(), digest_size=8
-    ).digest()
+    key = (
+        f"{base_seed}:{trial_index}"
+        if not stream
+        else f"{base_seed}:{stream}:{trial_index}"
+    )
+    digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
     return int.from_bytes(digest, "big") >> 1
 
 

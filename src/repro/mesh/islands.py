@@ -10,6 +10,7 @@ halves: detecting the islands and greedily planning the bridge APs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..geometry import Point
 from .graph import APGraph
@@ -28,10 +29,61 @@ class Island:
         return len(self.ap_ids)
 
 
-def find_islands(graph: APGraph, min_size: int = 1) -> list[Island]:
-    """Connected components of the mesh as islands, largest first."""
+def _alive_components(graph: APGraph, alive: set[int]) -> list[set[int]]:
+    """Connected components of the mesh restricted to ``alive`` APs.
+
+    Plain BFS over the prebuilt adjacency, skipping dead endpoints —
+    O(alive + incident edges), no :class:`APGraph` reconstruction.
+    """
+    adjacency = graph.adjacency_lists()
+    unvisited = set(alive)
+    comps: list[set[int]] = []
+    while unvisited:
+        start = unvisited.pop()
+        comp = {start}
+        frontier = [start]
+        while frontier:
+            u = frontier.pop()
+            for v in adjacency[u]:
+                if v in unvisited:
+                    unvisited.discard(v)
+                    comp.add(v)
+                    frontier.append(v)
+        comps.append(comp)
+    comps.sort(key=len, reverse=True)
+    return comps
+
+
+def find_islands(
+    graph: APGraph, min_size: int = 1, alive: Iterable[int] | None = None
+) -> list[Island]:
+    """Connected components of the mesh as islands, largest first.
+
+    Args:
+        graph: the full AP mesh.
+        min_size: smallest component reported as an island.
+        alive: restrict the mesh to this subset of AP ids (dead APs and
+            their links vanish) without rebuilding the graph — the
+            incremental path for time-stepped die-off analysis.  Island
+            ``ap_ids`` keep the *original* graph's ids, unlike a
+            :func:`~repro.mesh.power.surviving_mesh` rebuild which
+            re-indexes.  ``None`` (default) means every AP is alive.
+
+    Raises:
+        IndexError: if ``alive`` names an AP id outside the graph.
+    """
+    if alive is None:
+        comps = graph.components()
+    else:
+        alive_set = set(alive)
+        if alive_set and max(alive_set) >= len(graph.aps):
+            raise IndexError(
+                f"alive set names AP {max(alive_set)} but the graph has "
+                f"only {len(graph.aps)} APs"
+            )
+        comps = _alive_components(graph, alive_set)
     islands = []
-    for comp in graph.components():
+    for comp in comps:
         if len(comp) < min_size:
             continue
         buildings = frozenset(graph.aps[i].building_id for i in comp)

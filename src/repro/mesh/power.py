@@ -37,6 +37,16 @@ class PowerProfile:
     def alive_at(self, hours_after_outage: float) -> bool:
         """Whether the AP is still powered at the given time.
 
+        Boundary convention (uniform across every source, no epsilon):
+        an AP is alive iff ``t == 0.0`` or ``t < runtime``, where
+        ``runtime`` is infinite for GENERATOR, ``battery_hours`` for
+        BATTERY, and ``0.0`` for NONE.  Batteries thus power the
+        half-open interval ``[0, battery_hours)`` — at exactly
+        ``t == battery_hours`` the battery is drained and the AP is
+        down — and a NONE AP is alive only at the instant the grid
+        fails (``t == 0.0``), which keeps "evaluate the mesh at the
+        moment of the outage" meaningful for every profile.
+
         Raises:
             ValueError: for negative times.
         """
@@ -44,9 +54,11 @@ class PowerProfile:
             raise ValueError("time must be non-negative")
         if self.source is PowerSource.GENERATOR:
             return True
+        if hours_after_outage == 0.0:
+            return True
         if self.source is PowerSource.BATTERY:
-            return hours_after_outage <= self.battery_hours
-        return hours_after_outage == 0.0
+            return hours_after_outage < self.battery_hours
+        return False
 
 
 def assign_power_profiles(

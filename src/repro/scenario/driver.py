@@ -1,0 +1,502 @@
+"""The scenario driver: step a world through a disaster timeline.
+
+Per epoch the driver
+
+1. applies the events pinned to that epoch (outages start/end, damage
+   lands, churn draws, operators deploy bridge APs),
+2. derives the alive-AP set from power profiles, destruction, and
+   churn — against the *original* mesh, via the ``dead_aps`` fast path
+   of :func:`~repro.sim.simulate_broadcast` and the ``alive=`` path of
+   :func:`~repro.mesh.find_islands`, so no per-epoch graph rebuilds,
+3. patches the building graph in one :meth:`~repro.buildgraph.\
+BuildingGraph.patch` call (exactly one version bump per mutating
+   epoch, so the route cache invalidates once, not per casualty),
+4. replans flows whose routes broke (or that never had one), fails the
+   source AP over to the building's first alive AP, and
+5. scores every flow end to end — reachability through the alive mesh
+   and actual delivery via the broadcast simulator — into an
+   :class:`~repro.scenario.model.EpochReport`.
+
+The timeline itself is stepped serially (graph surgery is cheap); the
+per-flow broadcast simulations are fanned out through a
+:class:`~repro.experiments.TrialRunner`, and every trial carries its
+own :func:`~repro.experiments.seed_for` seed plus enough frozen state
+(dead set, deployed-AP tuple, waypoints) for a worker process to
+reproduce it bit for bit.  Results are therefore invariant under the
+worker count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..buildgraph import NoRouteError
+from ..core import RoutePlan, conduits_for_waypoints
+from ..experiments import (
+    TrialRunner,
+    World,
+    sample_building_pairs,
+    seed_for,
+)
+from ..geometry import Point, Polygon
+from ..mesh import (
+    AccessPoint,
+    APGraph,
+    PowerProfile,
+    PowerSource,
+    assign_power_profiles,
+    find_islands,
+    plan_bridge,
+)
+from ..sim import ConduitPolicy, simulate_broadcast
+from .events import APChurn, Damage, DeployBridges, GridOutage, PowerRestored
+from .model import EpochReport, ScenarioResult, ScenarioSpec
+
+# One deployed AP, flattened to primitives so trials stay hashable and
+# cheap to pickle: (ap_id, x, y, building_id).
+DeployedAP = tuple[int, float, float, int]
+
+
+@dataclass(frozen=True)
+class ScenarioFlowTrial:
+    """One flow's broadcast simulation at one epoch, fully frozen.
+
+    Carries everything a worker needs to replay the simulation without
+    the driver's mutable state: the waypoints (conduits are rebuilt
+    from the shared map, exactly as a real AP would), the epoch's dead
+    set, and the cumulative deployed-AP tuple (workers extend their
+    cached base mesh once per distinct tuple).
+    """
+
+    src_building: int
+    dst_building: int
+    source_ap: int
+    waypoint_ids: tuple[int, ...]
+    conduit_width: float
+    dead_aps: frozenset[int]
+    deployed: tuple[DeployedAP, ...]
+    seed: int
+
+
+# Extended meshes are memoised per (world identity, deployed tuple):
+# a scenario deploys bridges at most a handful of times, and every
+# trial after a deployment reuses the same extended graph.
+_EXTENDED: dict[tuple[object, tuple[DeployedAP, ...]], APGraph] = {}
+
+
+def extended_graph(world: World, deployed: tuple[DeployedAP, ...]) -> APGraph:
+    """The world's mesh with the deployed bridge APs appended.
+
+    Deployed ids continue the base mesh's contiguous ids, so dead sets
+    and trial source APs index identically in the driver and in every
+    worker process.
+    """
+    if not deployed:
+        return world.graph
+    key = (world.spec if world.spec is not None else id(world), deployed)
+    graph = _EXTENDED.get(key)
+    if graph is None:
+        if len(_EXTENDED) > 8:  # scenarios deploy rarely; keep this tiny
+            _EXTENDED.clear()
+        aps = list(world.graph.aps) + [
+            AccessPoint(id=ap_id, position=Point(x, y), building_id=building_id)
+            for ap_id, x, y, building_id in deployed
+        ]
+        graph = APGraph(aps, transmission_range=world.graph.transmission_range)
+        _EXTENDED[key] = graph
+    return graph
+
+
+def scenario_flow_trial(
+    world: World, trial: ScenarioFlowTrial
+) -> tuple[bool, int]:
+    """Run one flow's broadcast; returns ``(delivered, transmissions)``.
+
+    Module-level so :class:`~repro.experiments.TrialRunner` can ship it
+    to worker processes by reference.
+    """
+    graph = extended_graph(world, trial.deployed)
+    centroids = [
+        world.city.building(b).centroid() for b in trial.waypoint_ids
+    ]
+    conduits = conduits_for_waypoints(centroids, trial.conduit_width)
+    policy = ConduitPolicy(conduits, world.city)
+    result = simulate_broadcast(
+        graph,
+        trial.source_ap,
+        trial.dst_building,
+        policy,
+        random.Random(trial.seed),
+        dead_aps=trial.dead_aps,
+    )
+    return result.delivered, result.transmissions
+
+
+class ScenarioDriver:
+    """Step one :class:`~repro.scenario.model.ScenarioSpec` to its result.
+
+    Args:
+        spec: the timeline to run.
+        runner: trial runner for the per-flow broadcast fan-out; a
+            serial one is created (and owned) when omitted.
+        world: a prebuilt world to drive instead of building
+            ``spec.world`` — for worlds with no preset (benchmarks,
+            OSM imports).  A world without a ``spec`` of its own
+            restricts the run to a serial runner (workers cannot
+            rebuild it); ``spec.world`` then only labels seeds.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        runner: TrialRunner | None = None,
+        world: World | None = None,
+    ):
+        self.spec = spec
+        self._runner = runner if runner is not None else TrialRunner(workers=1)
+        self._owns_runner = runner is None
+        self.world = world if world is not None else spec.world.build()
+        base_seed = spec.world.seed
+        stream = spec.stream()
+        self._flow_stream = stream + ":flow"
+        # Construction randomness: every stream is keyed off the spec,
+        # never off a shared sequential RNG, for worker invariance.
+        self.profiles: dict[int, PowerProfile] = assign_power_profiles(
+            self.world.graph.aps,
+            random.Random(seed_for(base_seed, 0, stream + ":power")),
+            battery_fraction=spec.battery_fraction,
+            generator_fraction=spec.generator_fraction,
+            battery_hours_range=spec.battery_hours_range,
+        )
+        self.flows: list[tuple[int, int]] = sample_building_pairs(
+            self.world,
+            spec.flows,
+            random.Random(seed_for(base_seed, 0, stream + ":pairs")),
+        )
+        # Timeline state.
+        self.graph: APGraph = self.world.graph  # extended at deploys
+        self.deployed: tuple[DeployedAP, ...] = ()
+        self._destroyed: set[int] = set()
+        self._churn_until: dict[int, int] = {}  # ap id -> recovery epoch
+        self._outages: list[tuple[Polygon | None, int]] = []  # (region, epoch)
+        self._churn_windows: list[APChurn] = [
+            ev for ev in spec.events if isinstance(ev, APChurn)
+        ]
+        # Flow routing state: last plan + the graph version it was
+        # validated against (None plan = known-unroutable then).
+        self._plans: list[RoutePlan | None] = [None] * len(self.flows)
+        self._plan_versions: list[int | None] = [None] * len(self.flows)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._owns_runner:
+            self._runner.close()
+
+    def __enter__(self) -> "ScenarioDriver":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Alive-set derivation
+    # ------------------------------------------------------------------
+    def _covered(self, region: Polygon | None) -> list[int]:
+        """AP ids whose position an outage region covers (all if None)."""
+        if region is None:
+            return list(range(len(self.graph.aps)))
+        return [
+            ap.id for ap in self.graph.aps if region.contains(ap.position)
+        ]
+
+    def _alive_set(self, epoch: int) -> set[int]:
+        """Alive AP ids at the given epoch under all current state."""
+        hour = epoch * self.spec.epoch_hours
+        n = len(self.graph.aps)
+        # Longest-running outage covering each AP (power does not
+        # stack: what matters is how long this AP has been off-grid).
+        elapsed: dict[int, float] = {}
+        for region, start_epoch in self._outages:
+            hours_out = hour - start_epoch * self.spec.epoch_hours
+            for ap_id in self._covered(region):
+                if elapsed.get(ap_id, -1.0) < hours_out:
+                    elapsed[ap_id] = hours_out
+        alive: set[int] = set()
+        for ap_id in range(n):
+            if ap_id in self._destroyed:
+                continue
+            if self._churn_until.get(ap_id, 0) > epoch:
+                continue
+            hours_out = elapsed.get(ap_id)
+            if hours_out is not None and not self.profiles[ap_id].alive_at(
+                hours_out
+            ):
+                continue
+            alive.add(ap_id)
+        return alive
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+    def _apply_damage(self, ev: Damage) -> list[int]:
+        """Kill covered APs; return building ids to drop from routing."""
+        for ap in self.graph.aps:
+            if ap.id not in self._destroyed and ev.area.contains(ap.position):
+                self._destroyed.add(ap.id)
+        bg = self.world.building_graph
+        return [b for b in list(bg) if ev.area.contains(bg.centroid(b))]
+
+    def _apply_churn(self, ev: APChurn, epoch: int) -> None:
+        eligible = [
+            ap.id
+            for ap in self.graph.aps
+            if ap.id not in self._destroyed
+            and self._churn_until.get(ap.id, 0) <= epoch
+        ]
+        count = int(ev.rate * len(eligible))
+        if count == 0:
+            return
+        rng = random.Random(
+            seed_for(self.spec.world.seed, epoch, self.spec.stream() + ":churn")
+        )
+        for ap_id in rng.sample(eligible, count):
+            self._churn_until[ap_id] = epoch + ev.down_epochs
+
+    def _apply_bridges(
+        self, ev: DeployBridges, epoch: int
+    ) -> tuple[int, list[tuple[int, int]]]:
+        """Bridge the currently-alive islands; extend mesh and profiles.
+
+        Returns the number of APs deployed and the routing links to
+        announce (anchor-building pairs, one per bridged island).
+        """
+        alive = self._alive_set(epoch)
+        islands = find_islands(
+            self.graph, min_size=ev.min_island_size, alive=alive
+        )
+        if len(islands) <= 1:
+            return 0, []
+        main = islands[0]
+        new_aps: list[DeployedAP] = []
+        links: list[tuple[int, int]] = []
+        bg = self.world.building_graph
+        next_id = len(self.graph.aps)
+        for island in islands[1:]:
+            plan = plan_bridge(
+                self.graph, main, island, spacing_factor=ev.spacing_factor
+            )
+            anchor = self.graph.aps[plan.from_ap].building_id
+            far_anchor = self.graph.aps[plan.to_ap].building_id
+            for pos in plan.new_positions:
+                new_aps.append((next_id, pos.x, pos.y, anchor))
+                next_id += 1
+            if (
+                anchor != far_anchor
+                and anchor in bg
+                and far_anchor in bg
+            ):
+                links.append((anchor, far_anchor))
+        if new_aps:
+            self.deployed = self.deployed + tuple(new_aps)
+            self.graph = extended_graph(self.world, self.deployed)
+            for ap_id, _x, _y, _b in new_aps:
+                # Operator-maintained: generator-backed, outage-proof.
+                self.profiles[ap_id] = PowerProfile(PowerSource.GENERATOR)
+        return len(new_aps), links
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _refresh_plans(self) -> int:
+        """Replan flows whose last route broke; returns the replan count.
+
+        A sender replans lazily: only when it has no valid route yet
+        (initial epoch, or it was unroutable and the map changed — a
+        bridge may have appeared) or when any building of its cached
+        route vanished from the map.  Validation runs over the full
+        uncompressed route, not just the waypoints: a compressed
+        two-waypoint header can span destroyed intermediates whose
+        conduit now crosses a dead zone.  A surviving route is kept
+        even if a newer map version might offer a better one.
+        """
+        bg = self.world.building_graph
+        version = bg.version
+        replans = 0
+        for i, (src, dst) in enumerate(self.flows):
+            if self._plan_versions[i] == version:
+                continue
+            plan = self._plans[i]
+            if plan is not None and all(b in bg for b in plan.route):
+                self._plan_versions[i] = version
+                continue
+            replans += 1
+            try:
+                self._plans[i] = self.world.router.plan(src, dst)
+            except (NoRouteError, KeyError):
+                self._plans[i] = None
+            self._plan_versions[i] = version
+        return replans
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def _step(self, epoch: int) -> EpochReport:
+        spec = self.spec
+        bg = self.world.building_graph
+        before = bg.stats()
+        fired: list[str] = []
+        removals: list[int] = []
+        links: list[tuple[int, int]] = []
+        deployed_now = 0
+        for ev in spec.events:
+            if isinstance(ev, APChurn):
+                # Windows fire every epoch they span, not just at start.
+                if ev.epoch <= epoch <= ev.until_epoch:
+                    self._apply_churn(ev, epoch)
+                    fired.append(ev.describe())
+                continue
+            if ev.epoch != epoch:
+                continue
+            fired.append(ev.describe())
+            if isinstance(ev, GridOutage):
+                self._outages.append((ev.region, epoch))
+            elif isinstance(ev, PowerRestored):
+                self._outages = [
+                    (region, start)
+                    for region, start in self._outages
+                    if ev.region is not None and region != ev.region
+                ]
+            elif isinstance(ev, Damage):
+                removals.extend(self._apply_damage(ev))
+            elif isinstance(ev, DeployBridges):
+                count, new_links = self._apply_bridges(ev, epoch)
+                deployed_now += count
+                links.extend(new_links)
+        mutated = bg.patch(remove=removals, add_links=links)
+        replans = self._refresh_plans()
+
+        alive = self._alive_set(epoch)
+        islands = find_islands(self.graph, min_size=1, alive=alive)
+        island_of: dict[int, int] = {}
+        for idx, island in enumerate(islands):
+            for ap_id in island.ap_ids:
+                island_of[ap_id] = idx
+
+        dead = (
+            frozenset(range(len(self.graph.aps))) - alive
+            if len(alive) < len(self.graph.aps)
+            else frozenset()
+        )
+        trials: list[ScenarioFlowTrial] = []
+        routable = 0
+        reachable = 0
+        for i, (src, dst) in enumerate(self.flows):
+            plan = self._plans[i]
+            if plan is not None:
+                routable += 1
+            src_alive = [
+                a for a in self.graph.aps_in_building(src) if a in alive
+            ]
+            dst_islands = {
+                island_of[a]
+                for a in self.graph.aps_in_building(dst)
+                if a in alive
+            }
+            flow_reachable = any(
+                island_of[a] in dst_islands for a in src_alive
+            )
+            if flow_reachable:
+                reachable += 1
+            if plan is None or not src_alive:
+                continue
+            # Source failover: the building's first alive AP sends.
+            trials.append(
+                ScenarioFlowTrial(
+                    src_building=src,
+                    dst_building=dst,
+                    source_ap=src_alive[0],
+                    waypoint_ids=plan.waypoint_ids,
+                    conduit_width=spec.world.conduit_width,
+                    dead_aps=dead,
+                    deployed=self.deployed,
+                    seed=seed_for(
+                        spec.world.seed,
+                        epoch * len(self.flows) + i,
+                        self._flow_stream,
+                    ),
+                )
+            )
+
+        # The world's own spec (== spec.world for built worlds) is what
+        # workers rebuild from; an injected spec-less world runs serial.
+        outcomes = self._runner.map(
+            scenario_flow_trial,
+            trials,
+            spec=self.world.spec,
+            world=self.world,
+        )
+        delivered = sum(1 for ok, _tx in outcomes if ok)
+        transmissions = sum(tx for _ok, tx in outcomes)
+
+        after = bg.stats()
+        reported_islands = sum(
+            1 for island in islands if island.size >= spec.min_island_size
+        )
+        return EpochReport(
+            epoch=epoch,
+            hour=epoch * spec.epoch_hours,
+            events=tuple(fired),
+            alive_aps=len(alive),
+            total_aps=len(self.graph.aps),
+            islands=reported_islands,
+            largest_island=islands[0].size if islands else 0,
+            graph_version=bg.version,
+            mutated=mutated,
+            deployed_aps=deployed_now,
+            replans=replans,
+            flows=len(self.flows),
+            routable_flows=routable,
+            reachable_flows=reachable,
+            simulated_flows=len(trials),
+            delivered_flows=delivered,
+            delivery_rate=delivered / len(self.flows),
+            transmissions=transmissions,
+            route_cache_hits=int(after["route_cache_hits"] - before["route_cache_hits"]),
+            route_cache_misses=int(
+                after["route_cache_misses"] - before["route_cache_misses"]
+            ),
+        )
+
+    def run(self) -> ScenarioResult:
+        """Step the full timeline and aggregate the reports."""
+        reports = tuple(self._step(e) for e in range(self.spec.epochs))
+        return ScenarioResult(
+            name=self.spec.name,
+            city=self.spec.world.city_name,
+            seed=self.spec.world.seed,
+            epoch_hours=self.spec.epoch_hours,
+            flow_count=len(self.flows),
+            initial_aps=len(self.world.graph.aps),
+            epochs=reports,
+        )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    workers: int = 1,
+    runner: TrialRunner | None = None,
+) -> ScenarioResult:
+    """Convenience wrapper: drive a spec to its result.
+
+    ``workers`` builds (and tears down) a throwaway runner when no
+    ``runner`` is supplied; the result is invariant under either.
+    """
+    if runner is not None:
+        with ScenarioDriver(spec, runner=runner) as driver:
+            return driver.run()
+    with TrialRunner(workers=workers) as owned:
+        with ScenarioDriver(spec, runner=owned) as driver:
+            return driver.run()

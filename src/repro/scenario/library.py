@@ -1,0 +1,171 @@
+"""Canned disaster scenarios, one per failure mode the paper discusses.
+
+Each factory takes a base seed and returns a fully-parameterised
+:class:`~repro.scenario.model.ScenarioSpec`.  The geometry constants
+target the preset cities of :mod:`repro.city`: ``gridport`` is an 8x8
+Manhattan grid (90 m blocks, 14 m streets, extent ~0..818 m), so a
+horizontal band over ``y in [300, 530]`` drowns exactly its two middle
+block rows — a >200 m gap no 50 m radio crosses — and ``riverton`` is
+the river-split preset that fractures into two islands on its own.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..experiments import WorldSpec
+from ..geometry import Point, Polygon
+from .events import APChurn, Damage, DeployBridges, GridOutage, PowerRestored
+from .model import ScenarioSpec
+
+
+def _rect(x0: float, y0: float, x1: float, y1: float) -> Polygon:
+    return Polygon(
+        (Point(x0, y0), Point(x1, y0), Point(x1, y1), Point(x0, y1))
+    )
+
+
+# gridport extent is ~818 m; pad the bands generously so jittered
+# footprints on the boundary blocks are unambiguously covered.
+_GRIDPORT_SPAN = 900.0
+_FLOOD_BAND = _rect(-50.0, 300.0, _GRIDPORT_SPAN, 530.0)
+_QUAKE_ZONE = _rect(350.0, 350.0, 480.0, 480.0)
+_WEST_THIRD = _rect(-50.0, -50.0, 276.0, _GRIDPORT_SPAN)
+_MID_THIRD = _rect(276.0, -50.0, 552.0, _GRIDPORT_SPAN)
+_EAST_THIRD = _rect(552.0, -50.0, _GRIDPORT_SPAN, _GRIDPORT_SPAN)
+
+
+def slow_battery_drain(seed: int = 0) -> ScenarioSpec:
+    """Citywide outage at hour 0; batteries deplete over two days."""
+    return ScenarioSpec(
+        name="slow-battery-drain",
+        world=WorldSpec("gridport", seed=seed),
+        epochs=8,
+        epoch_hours=6.0,
+        events=(GridOutage(epoch=0),),
+        flows=24,
+        battery_fraction=0.5,
+        generator_fraction=0.05,
+        battery_hours_range=(2.0, 36.0),
+        description=(
+            "citywide grid failure; mesh thins epoch by epoch as "
+            "batteries drain (the paper's longevity question, stepped)"
+        ),
+    )
+
+
+def river_flood(seed: int = 0) -> ScenarioSpec:
+    """A flood band severs the grid; operators bridge it two epochs on.
+
+    The acceptance scenario: epoch 1 splits the mesh into islands and
+    delivery collapses for cross-band flows; epoch 3's bridge chains
+    (plus the announced routing link) restore it.
+    """
+    return ScenarioSpec(
+        name="river-flood",
+        world=WorldSpec("gridport", seed=seed),
+        epochs=6,
+        epoch_hours=4.0,
+        events=(
+            Damage(epoch=1, area=_FLOOD_BAND),
+            DeployBridges(epoch=3, min_island_size=5),
+        ),
+        flows=24,
+        battery_fraction=0.5,
+        generator_fraction=0.05,
+        description=(
+            "flood drowns the two middle block rows (no outage), "
+            "islanding north from south; bridge APs deployed at epoch 3"
+        ),
+    )
+
+
+def rolling_blackout(seed: int = 0) -> ScenarioSpec:
+    """Outage waves roll west to east, two epochs per third."""
+    return ScenarioSpec(
+        name="rolling-blackout",
+        world=WorldSpec("gridport", seed=seed),
+        epochs=8,
+        epoch_hours=2.0,
+        events=(
+            GridOutage(epoch=0, region=_WEST_THIRD),
+            PowerRestored(epoch=2, region=_WEST_THIRD),
+            GridOutage(epoch=2, region=_MID_THIRD),
+            PowerRestored(epoch=4, region=_MID_THIRD),
+            GridOutage(epoch=4, region=_EAST_THIRD),
+            PowerRestored(epoch=6, region=_EAST_THIRD),
+        ),
+        flows=24,
+        battery_fraction=0.3,
+        generator_fraction=0.05,
+        battery_hours_range=(1.0, 6.0),
+        description=(
+            "load-shedding waves roll across the city thirds; each "
+            "region browns out for two epochs then recovers"
+        ),
+    )
+
+
+def post_quake_churn(seed: int = 0) -> ScenarioSpec:
+    """A central damage zone plus hours of flaky AP churn."""
+    return ScenarioSpec(
+        name="post-quake-churn",
+        world=WorldSpec("gridport", seed=seed),
+        epochs=8,
+        epoch_hours=1.0,
+        events=(
+            Damage(epoch=0, area=_QUAKE_ZONE),
+            APChurn(epoch=1, until_epoch=6, rate=0.12, down_epochs=2),
+        ),
+        flows=24,
+        description=(
+            "quake levels the city centre at hour 0; 12% of surviving "
+            "APs flap in and out for the following six hours"
+        ),
+    )
+
+
+def bridge_ap_recovery(seed: int = 0) -> ScenarioSpec:
+    """riverton's natural two-island split, bridged at epoch 2."""
+    return ScenarioSpec(
+        name="bridge-ap-recovery",
+        world=WorldSpec("riverton", seed=seed),
+        epochs=5,
+        epoch_hours=4.0,
+        events=(DeployBridges(epoch=2, min_island_size=5),),
+        flows=24,
+        description=(
+            "the bridgeless river city starts islanded; operator "
+            "bridges the banks at epoch 2 and cross-river flows recover"
+        ),
+    )
+
+
+SCENARIOS: dict[str, Callable[[int], ScenarioSpec]] = {
+    "slow-battery-drain": slow_battery_drain,
+    "river-flood": river_flood,
+    "rolling-blackout": rolling_blackout,
+    "post-quake-churn": post_quake_churn,
+    "bridge-ap-recovery": bridge_ap_recovery,
+}
+
+
+def scenario_names() -> list[str]:
+    """All canned scenario names, in presentation order."""
+    return list(SCENARIOS)
+
+
+def make_scenario(name: str, seed: int = 0) -> ScenarioSpec:
+    """Instantiate a canned scenario by name.
+
+    Raises:
+        KeyError: for an unknown scenario name.
+    """
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(
+            f"unknown scenario {name!r}; known scenarios: {known}"
+        ) from None
+    return factory(seed)

@@ -1,0 +1,232 @@
+"""Declarative scenario model and the structured per-epoch reports.
+
+A :class:`ScenarioSpec` is a seeded, hashable recipe: a world (as a
+:class:`~repro.experiments.WorldSpec`), an epoch grid, and a tuple of
+fault events.  Equal specs replay bit-identical timelines whatever the
+worker count — all randomness flows through
+:func:`~repro.experiments.seed_for` keyed on the spec's stream label.
+
+The driver emits one :class:`EpochReport` per epoch and aggregates them
+into a :class:`ScenarioResult`, which serializes to deterministic JSON
+(sorted keys) so results can be diffed, archived, and compared across
+worker counts byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..experiments import WorldSpec
+from .events import ScenarioEvent
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One seeded disaster timeline, declaratively.
+
+    Attributes:
+        name: scenario identity; folded into every RNG stream.
+        world: the world recipe (city, seed, densities) — workers
+            rebuild from this, never pickle the world itself.
+        epochs: number of timeline steps.
+        epoch_hours: wall-clock hours between consecutive epochs
+            (drives battery depletion).
+        events: fault events, applied in tuple order within an epoch.
+        flows: number of source→destination building flows evaluated
+            every epoch.
+        battery_fraction / generator_fraction / battery_hours_range:
+            power-profile mix assigned to the mesh (see
+            :func:`repro.mesh.assign_power_profiles`).
+        min_island_size: islands smaller than this are not counted in
+            the per-epoch island metric (reachability still uses exact
+            components).
+        description: one line for ``scenario list``.
+
+    Raises:
+        ValueError: for an empty timeline, a non-positive epoch
+            duration or flow count, or an event pinned outside the
+            timeline.
+    """
+
+    name: str
+    world: WorldSpec
+    epochs: int
+    epoch_hours: float = 4.0
+    events: tuple[ScenarioEvent, ...] = ()
+    flows: int = 24
+    battery_fraction: float = 0.5
+    generator_fraction: float = 0.05
+    battery_hours_range: tuple[float, float] = (2.0, 24.0)
+    min_island_size: int = 2
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("a scenario needs at least one epoch")
+        if self.epoch_hours <= 0:
+            raise ValueError("epoch duration must be positive")
+        if self.flows < 1:
+            raise ValueError("a scenario needs at least one flow")
+        for ev in self.events:
+            if not 0 <= ev.epoch < self.epochs:
+                raise ValueError(
+                    f"event {ev.describe()} pinned to epoch {ev.epoch}, "
+                    f"outside the {self.epochs}-epoch timeline"
+                )
+
+    def stream(self) -> str:
+        """The seed-stream label folding the scenario spec's identity.
+
+        Passed to :func:`~repro.experiments.seed_for` so two scenarios
+        sharing a base seed (or a scenario and a plain experiment
+        sweep) draw unrelated randomness.
+        """
+        w = self.world
+        return (
+            f"scenario:{self.name}:{w.city_name}:{w.seed}"
+            f":{self.epochs}x{self.epoch_hours:g}:{self.flows}"
+        )
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """The structured outcome of one timeline step.
+
+    ``replans`` counts routing-table work this epoch (epoch 0 includes
+    the initial planning of every flow); ``route_cache_hits`` /
+    ``route_cache_misses`` are *deltas* over the epoch — senders replan
+    lazily, so an epoch whose graph version did not change shows zero
+    planner work of either kind.  ``delivery_rate`` is delivered
+    flows over **all** flows — an unroutable or unreachable flow counts
+    as a failure, which is exactly how an operator would score the
+    network.
+    """
+
+    epoch: int
+    hour: float
+    events: tuple[str, ...]
+    alive_aps: int
+    total_aps: int
+    islands: int
+    largest_island: int
+    graph_version: int
+    mutated: bool
+    deployed_aps: int
+    replans: int
+    flows: int
+    routable_flows: int
+    reachable_flows: int
+    simulated_flows: int
+    delivered_flows: int
+    delivery_rate: float
+    transmissions: int
+    route_cache_hits: int
+    route_cache_misses: int
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["events"] = list(self.events)
+        return d
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """A full timeline's reports plus cross-epoch aggregates."""
+
+    name: str
+    city: str
+    seed: int
+    epoch_hours: float
+    flow_count: int
+    initial_aps: int
+    epochs: tuple[EpochReport, ...] = field(default=())
+
+    @property
+    def total_replans(self) -> int:
+        return sum(e.replans for e in self.epochs)
+
+    @property
+    def min_delivery_rate(self) -> float:
+        return min(e.delivery_rate for e in self.epochs)
+
+    @property
+    def final_delivery_rate(self) -> float:
+        return self.epochs[-1].delivery_rate
+
+    @property
+    def max_islands(self) -> int:
+        return max(e.islands for e in self.epochs)
+
+    @property
+    def total_deployed_aps(self) -> int:
+        return sum(e.deployed_aps for e in self.epochs)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "city": self.city,
+            "seed": self.seed,
+            "epoch_hours": self.epoch_hours,
+            "flow_count": self.flow_count,
+            "initial_aps": self.initial_aps,
+            "epochs": [e.to_dict() for e in self.epochs],
+            "aggregates": {
+                "total_replans": self.total_replans,
+                "min_delivery_rate": self.min_delivery_rate,
+                "final_delivery_rate": self.final_delivery_rate,
+                "max_islands": self.max_islands,
+                "total_deployed_aps": self.total_deployed_aps,
+            },
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Deterministic JSON: sorted keys, no environment leakage —
+        byte-identical across runs and worker counts."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioResult":
+        """Rehydrate a result parsed from :meth:`to_json` output."""
+        epochs = tuple(
+            EpochReport(**{**e, "events": tuple(e["events"])})
+            for e in data["epochs"]
+        )
+        return cls(
+            name=data["name"],
+            city=data["city"],
+            seed=data["seed"],
+            epoch_hours=data["epoch_hours"],
+            flow_count=data["flow_count"],
+            initial_aps=data["initial_aps"],
+            epochs=epochs,
+        )
+
+
+def format_scenario(result: ScenarioResult) -> str:
+    """A compact human-readable epoch table (the JSON is the artifact)."""
+    header = (
+        f"scenario {result.name} on {result.city} (seed {result.seed}, "
+        f"{len(result.epochs)} epochs x {result.epoch_hours:g} h, "
+        f"{result.flow_count} flows)"
+    )
+    lines = [header, ""]
+    lines.append(
+        f"{'ep':>3} {'hour':>6} {'alive':>6} {'isl':>4} {'replan':>6} "
+        f"{'deliv':>6} {'rate':>6}  events"
+    )
+    for e in result.epochs:
+        lines.append(
+            f"{e.epoch:>3} {e.hour:>6g} {e.alive_aps:>6} {e.islands:>4} "
+            f"{e.replans:>6} {e.delivered_flows:>6} {e.delivery_rate:>6.2f}  "
+            f"{', '.join(e.events) or '-'}"
+        )
+    lines.append("")
+    lines.append(
+        f"min delivery {result.min_delivery_rate:.2f}, "
+        f"final {result.final_delivery_rate:.2f}, "
+        f"max islands {result.max_islands}, "
+        f"{result.total_replans} replans, "
+        f"{result.total_deployed_aps} bridge APs deployed"
+    )
+    return "\n".join(lines)

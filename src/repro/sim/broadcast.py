@@ -159,6 +159,7 @@ def simulate_broadcast(
     radio: UnitDiskRadio | None = None,
     params: SimParams | None = None,
     compromised: frozenset[int] = frozenset(),
+    dead_aps: frozenset[int] = frozenset(),
     fast: bool = True,
 ) -> BroadcastResult:
     """Simulate one packet's life through the mesh.
@@ -173,6 +174,14 @@ def simulate_broadcast(
         radio: propagation model; defaults to a lossless unit disk.
         params: timing knobs.
         compromised: APs that receive but silently drop (blackholes).
+        dead_aps: APs that are physically absent (unpowered, destroyed,
+            churned out): they never receive, transmit, or deliver.
+            Filtering happens per transmission against the prebuilt
+            adjacency, so evaluating many die-off states of one mesh
+            needs no :class:`~repro.mesh.APGraph` rebuilds.  The dead
+            set is consulted *before* any radio loss draw, so seeded
+            results are identical between the reference engine and the
+            fast path for any dead set.
         fast: dispatch to the specialised kernel in
             :mod:`repro.sim.fastpath` (seeded results are identical);
             ``False`` runs the reference generator/callback engine,
@@ -180,7 +189,12 @@ def simulate_broadcast(
 
     Returns:
         The delivery outcome and transmission accounting.
+
+    Raises:
+        ValueError: if the source AP is in ``dead_aps``.
     """
+    if source_ap in dead_aps:
+        raise ValueError(f"source AP {source_ap} is dead and cannot inject")
     if fast:
         from .fastpath import simulate_broadcast_fast
 
@@ -193,6 +207,7 @@ def simulate_broadcast(
             radio=radio,
             params=params,
             compromised=compromised,
+            dead_aps=dead_aps,
         )
     if radio is None:
         radio = UnitDiskRadio()
@@ -221,7 +236,13 @@ def simulate_broadcast(
             return
         result.transmissions += 1
         result.transmitters.add(ap_id)
-        for reception in receptions_of(neighbors(ap_id), rng):
+        audience = neighbors(ap_id)
+        if dead_aps:
+            # Dead receivers are filtered before the radio draws any
+            # loss randomness — the fast path does the same, keeping
+            # seeded RNG consumption aligned between the engines.
+            audience = [v for v in audience if v not in dead_aps]
+        for reception in receptions_of(audience, rng):
             ev = env.timeout(reception.delay_s)
             ev.callbacks.append(
                 lambda _e, receiver=reception.receiver_id: receive(receiver)

@@ -80,12 +80,22 @@ def simulate_broadcast_fast(
     radio: UnitDiskRadio | None = None,
     params: SimParams | None = None,
     compromised: frozenset[int] = frozenset(),
+    dead_aps: frozenset[int] = frozenset(),
 ) -> BroadcastResult:
     """Drop-in fast replacement for the reference ``simulate_broadcast``.
 
     Same arguments, same semantics, same seeded results; see the module
-    docstring for the equivalence contract.
+    docstring for the equivalence contract.  ``dead_aps`` marks APs as
+    physically absent without rebuilding the adjacency structure: dead
+    receivers are skipped via a flat bytearray membership test *before*
+    any per-neighbour loss draw, mirroring the reference engine's
+    filter order exactly.
+
+    Raises:
+        ValueError: if the source AP is in ``dead_aps``.
     """
+    if source_ap in dead_aps:
+        raise ValueError(f"source AP {source_ap} is dead and cannot inject")
     if radio is None:
         radio = UnitDiskRadio()
     if params is None:
@@ -94,6 +104,11 @@ def simulate_broadcast_fast(
     adjacency = graph.adjacency_lists()
     building_ids = graph.building_id_list()
     n = len(aps)
+    is_dead: bytearray | None = None
+    if dead_aps:
+        is_dead = bytearray(n)
+        for a in dead_aps:
+            is_dead[a] = 1
 
     threshold = params.suppression_threshold
     jitter = params.jitter_s
@@ -130,19 +145,22 @@ def simulate_broadcast_fast(
             return
         transmissions += 1
         transmitters.add(ap_id)
+        audience = adjacency[ap_id]
+        if is_dead is not None:
+            audience = [v for v in audience if not is_dead[v]]
         if unit_disk:
             t = now + tx_delay
-            for v in adjacency[ap_id]:
+            for v in audience:
                 push(heap, (t, seq, _RECEIVE, v))
                 seq += 1
         elif lossy:
             t = now + tx_delay
-            for v in adjacency[ap_id]:
+            for v in audience:
                 if rng_random() >= loss_p:
                     push(heap, (t, seq, _RECEIVE, v))
                     seq += 1
         else:
-            for rec in radio.receptions(adjacency[ap_id], rng):
+            for rec in radio.receptions(audience, rng):
                 push(heap, (now + rec.delay_s, seq, _RECEIVE, rec.receiver_id))
                 seq += 1
 

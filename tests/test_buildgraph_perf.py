@@ -201,6 +201,64 @@ class TestRouteCache:
         assert g.stats()["route_cache_size"] <= 8
 
 
+class TestBatchMutation:
+    def test_patch_bumps_version_exactly_once(self):
+        """A whole epoch's casualties cost one cache invalidation."""
+        g = BuildingGraph(grid_city(cols=5, rows=5), transmission_range=50)
+        v0 = g.version
+        assert g.patch(remove=[7, 8, 9], add_links=[(1, 25)])
+        assert g.version == v0 + 1
+        for removed in (7, 8, 9):
+            assert removed not in g
+
+    def test_empty_patch_is_a_no_op(self):
+        g = BuildingGraph(grid_city(cols=3, rows=1))
+        v0 = g.version
+        assert not g.patch()
+        assert g.version == v0
+
+    def test_patch_invalidates_routes(self):
+        city = grid_city(cols=5, rows=1)
+        g = BuildingGraph(city, transmission_range=50)
+        assert g.plan(1, 5) == [1, 2, 3, 4, 5]
+        g.patch(remove=[3])
+        with pytest.raises(NoRouteError):
+            g.plan(1, 5)
+
+    def test_add_link_routes_across_gap(self):
+        """An announced link carries routes the map would not predict."""
+        city = grid_city(cols=5, rows=1)
+        g = BuildingGraph(city, transmission_range=50)
+        g.patch(remove=[3])
+        with pytest.raises(NoRouteError):
+            g.plan(1, 5)
+        g.add_link(2, 4)
+        assert g.plan(1, 5) == [1, 2, 4, 5]
+        assert g.neighbors(2)[4] == pytest.approx(
+            g.centroid(2).distance_to(g.centroid(4)) ** g.weight_exponent
+        )
+
+    def test_add_link_validation(self):
+        g = BuildingGraph(grid_city(cols=3, rows=1))
+        with pytest.raises(ValueError):
+            g.add_link(1, 1)
+        with pytest.raises(KeyError):
+            g.add_link(1, 999)
+        with pytest.raises(ValueError):
+            g.add_link(1, 2, weight=0.0)
+
+    def test_patch_unknown_building_still_bumps(self):
+        """A failed patch must not leave stale cache entries behind."""
+        g = BuildingGraph(grid_city(cols=3, rows=1), transmission_range=50)
+        g.plan(1, 3)
+        v0 = g.version
+        with pytest.raises(KeyError):
+            g.patch(remove=[2, 999])
+        assert g.version == v0 + 1
+        with pytest.raises(NoRouteError):
+            g.plan(1, 3)
+
+
 class TestBatchedPlanning:
     def test_shares_one_sssp_per_source(self):
         """100 pairs over 10 sources cost at most 10 full expansions."""

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.city import make_city
-from repro.experiments import build_world, format_calibration, run_calibration
+from repro.experiments import format_calibration, run_calibration
 from repro.geometry import Point
 from repro.mesh import APGraph, AccessPoint, place_aps
 

@@ -1,6 +1,5 @@
 """Tests for the Figure-4 route-compression algorithm."""
 
-import math
 import random
 
 import pytest

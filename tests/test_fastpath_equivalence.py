@@ -53,18 +53,19 @@ def plan(world, endpoints):
 
 
 def assert_identical(graph, source_ap, dest_building, policy_factory, seed,
-                     radio_factory=None, params=None, compromised=frozenset()):
+                     radio_factory=None, params=None, compromised=frozenset(),
+                     dead_aps=frozenset()):
     """Run both kernels from identically seeded RNGs and compare all
     result fields (including the transmitter/heard sets)."""
     reference = simulate_broadcast(
         graph, source_ap, dest_building, policy_factory(), random.Random(seed),
         radio=radio_factory() if radio_factory else None,
-        params=params, compromised=compromised, fast=False,
+        params=params, compromised=compromised, dead_aps=dead_aps, fast=False,
     )
     fast = simulate_broadcast(
         graph, source_ap, dest_building, policy_factory(), random.Random(seed),
         radio=radio_factory() if radio_factory else None,
-        params=params, compromised=compromised, fast=True,
+        params=params, compromised=compromised, dead_aps=dead_aps, fast=True,
     )
     for field in RESULT_FIELDS:
         assert getattr(reference, field) == getattr(fast, field), field
@@ -175,6 +176,92 @@ class TestParamsEquivalence:
             world.graph, src_ap, dst, FloodPolicy, seed=3,
             compromised=compromised,
         )
+
+
+class TestDeadAPEquivalence:
+    """``dead_aps`` must behave identically across engines without any
+    APGraph rebuild — dead APs never receive, transmit, or deliver."""
+
+    def dead_every(self, world, src_ap, k):
+        return frozenset(a for a in range(0, len(world.graph), k) if a != src_ap)
+
+    @pytest.mark.parametrize("seed", [0, 9])
+    def test_flood_with_dead_aps(self, world, endpoints, seed):
+        _, dst, src_ap = endpoints
+        dead = self.dead_every(world, src_ap, 5)
+        result = assert_identical(
+            world.graph, src_ap, dst, FloodPolicy, seed, dead_aps=dead,
+        )
+        assert not result.heard & dead
+        assert not result.transmitters & dead
+
+    def test_lossy_radio_rng_alignment(self, world, endpoints):
+        """Loss draws happen per surviving neighbour: the dead filter
+        must run before them in both engines or seeds desynchronise."""
+        _, dst, src_ap = endpoints
+        dead = self.dead_every(world, src_ap, 3)
+        assert_identical(
+            world.graph, src_ap, dst, FloodPolicy, seed=6,
+            radio_factory=lambda: LossyRadio(loss_probability=0.25),
+            dead_aps=dead,
+        )
+
+    def test_gossip_with_dead_aps_shared_rng(self, world, endpoints):
+        _, dst, src_ap = endpoints
+        dead = self.dead_every(world, src_ap, 4)
+        results = []
+        for fast in (False, True):
+            rng = random.Random(77)
+            results.append(
+                simulate_broadcast(
+                    world.graph, src_ap, dst, GossipPolicy(0.5, rng), rng,
+                    dead_aps=dead, fast=fast,
+                )
+            )
+        for field in RESULT_FIELDS:
+            assert getattr(results[0], field) == getattr(results[1], field), field
+
+    def test_conduit_with_dead_aps(self, world, endpoints, plan):
+        _, dst, src_ap = endpoints
+        dead = self.dead_every(world, src_ap, 6)
+        assert_identical(
+            world.graph, src_ap, dst,
+            lambda: ConduitPolicy(plan.conduits, world.city), seed=11,
+            dead_aps=dead,
+        )
+
+    def test_dead_set_blocks_delivery(self, world, endpoints):
+        """Killing every AP of the destination building prevents
+        delivery even though the mesh floods around it."""
+        _, dst, src_ap = endpoints
+        dead = frozenset(world.graph.aps_in_building(dst))
+        for fast in (False, True):
+            result = simulate_broadcast(
+                world.graph, src_ap, dst, FloodPolicy(), random.Random(0),
+                dead_aps=dead, fast=fast,
+            )
+            assert not result.delivered
+
+    def test_empty_dead_set_matches_baseline(self, world, endpoints):
+        _, dst, src_ap = endpoints
+        baseline = simulate_broadcast(
+            world.graph, src_ap, dst, FloodPolicy(), random.Random(1)
+        )
+        explicit = simulate_broadcast(
+            world.graph, src_ap, dst, FloodPolicy(), random.Random(1),
+            dead_aps=frozenset(),
+        )
+        for field in RESULT_FIELDS:
+            assert getattr(baseline, field) == getattr(explicit, field), field
+
+    def test_dead_source_raises(self, world, endpoints):
+        _, dst, src_ap = endpoints
+        for fast in (False, True):
+            with pytest.raises(ValueError):
+                simulate_broadcast(
+                    world.graph, src_ap, dst, FloodPolicy(), random.Random(0),
+                    dead_aps=frozenset({src_ap}), fast=fast,
+                )
 
 
 class TestEdgeCases:

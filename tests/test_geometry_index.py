@@ -1,6 +1,5 @@
 """Unit and property tests for the GridIndex spatial hash."""
 
-import math
 import random
 
 import pytest

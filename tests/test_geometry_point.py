@@ -1,6 +1,5 @@
 """Unit and property tests for repro.geometry.point."""
 
-import math
 
 import pytest
 from hypothesis import given

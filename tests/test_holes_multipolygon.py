@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.city import Building, City, city_from_footprints
+from repro.city import city_from_footprints
 from repro.geometry import Point, Polygon, PolygonWithHoles, Segment
 from repro.osm import (
     RELATION_ID_OFFSET,

@@ -168,6 +168,71 @@ class TestIslands:
         g = APGraph(aps, transmission_range=50)
         assert find_islands(g)[0].building_ids == frozenset({7, 8})
 
+    def test_alive_subset_none_matches_full(self):
+        g = APGraph(line_of_aps([0, 40, 80, 500, 540]), transmission_range=50)
+        full = find_islands(g)
+        explicit = find_islands(g, alive=range(len(g.aps)))
+        assert {i.ap_ids for i in full} == {i.ap_ids for i in explicit}
+
+    def test_alive_subset_splits_island(self):
+        """Killing the middle AP of a chain splits its island in two,
+        with ids reported in the original graph's id space."""
+        g = APGraph(line_of_aps([0, 40, 80, 120, 160]), transmission_range=50)
+        assert len(find_islands(g)) == 1
+        islands = find_islands(g, alive={0, 1, 3, 4})
+        assert {i.ap_ids for i in islands} == {frozenset({0, 1}), frozenset({3, 4})}
+
+    def test_alive_subset_min_size(self):
+        g = APGraph(line_of_aps([0, 40, 80, 120]), transmission_range=50)
+        islands = find_islands(g, min_size=2, alive={0, 1, 3})
+        assert [i.ap_ids for i in islands] == [frozenset({0, 1})]
+
+    def test_alive_subset_empty(self):
+        g = APGraph(line_of_aps([0, 40]), transmission_range=50)
+        assert find_islands(g, alive=set()) == []
+
+    def test_alive_subset_unknown_id_raises(self):
+        g = APGraph(line_of_aps([0, 40]), transmission_range=50)
+        with pytest.raises(IndexError):
+            find_islands(g, alive={0, 99})
+
+    def test_alive_subset_matches_full_rebuild(self):
+        """The incremental path must agree with rebuilding the surviving
+        mesh from scratch (modulo the rebuild's id re-indexing)."""
+        from repro.mesh import PowerProfile, PowerSource, surviving_mesh
+
+        city = river_city(seed=3, bridges=0, blocks_x=4, blocks_y=4)
+        g = APGraph(place_aps(city, rng=random.Random(3)))
+        rng = random.Random(7)
+        profiles = {
+            ap.id: (
+                PowerProfile(PowerSource.GENERATOR)
+                if rng.random() < 0.6
+                else PowerProfile(PowerSource.NONE)
+            )
+            for ap in g.aps
+        }
+        alive = {ap.id for ap in g.aps if profiles[ap.id].alive_at(4.0)}
+
+        incremental = find_islands(g, alive=alive)
+        assert all(i.ap_ids <= alive for i in incremental)
+
+        rebuilt_graph = surviving_mesh(g, profiles, 4.0)
+        rebuilt = find_islands(rebuilt_graph)
+        # Compare islands by the positions of their member APs: the
+        # rebuild re-indexes ids, positions are the stable identity.
+        def position_sets(graph, islands):
+            return {
+                frozenset(graph.position(a) for a in i.ap_ids) for i in islands
+            }
+
+        assert position_sets(g, incremental) == position_sets(
+            rebuilt_graph, rebuilt
+        )
+        assert {i.building_ids for i in incremental} == {
+            i.building_ids for i in rebuilt
+        }
+
     def test_closest_gap(self):
         g = APGraph(line_of_aps([0, 40, 300, 340]), transmission_range=50)
         islands = find_islands(g)

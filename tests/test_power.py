@@ -27,7 +27,8 @@ class TestPowerProfile:
     def test_battery_lifetime(self):
         p = PowerProfile(PowerSource.BATTERY, battery_hours=8.0)
         assert p.alive_at(0.0)
-        assert p.alive_at(8.0)
+        assert p.alive_at(7.999999)
+        assert not p.alive_at(8.0)  # half-open: drained at exactly t == hours
         assert not p.alive_at(8.1)
 
     def test_generator_forever(self):
@@ -37,6 +38,26 @@ class TestPowerProfile:
     def test_negative_time_raises(self):
         with pytest.raises(ValueError):
             PowerProfile(PowerSource.NONE).alive_at(-1)
+
+    def test_boundary_convention_is_uniform(self):
+        """Alive iff t == 0 or t < runtime, for every source."""
+        none = PowerProfile(PowerSource.NONE)
+        zero_battery = PowerProfile(PowerSource.BATTERY, battery_hours=0.0)
+        generator = PowerProfile(PowerSource.GENERATOR)
+        # At the instant of the outage everything is still up.
+        for p in (none, zero_battery, generator):
+            assert p.alive_at(0.0)
+        # A zero-hour battery behaves exactly like NONE afterwards.
+        for t in (1e-12, 0.5, 24.0):
+            assert zero_battery.alive_at(t) == none.alive_at(t) is False
+
+    def test_battery_boundary_no_epsilon(self):
+        """The cutoff is an exact float comparison, not a tolerance."""
+        p = PowerProfile(PowerSource.BATTERY, battery_hours=2.0)
+        just_under = 2.0 - 2.0**-40
+        assert p.alive_at(just_under)
+        assert not p.alive_at(2.0)
+        assert not p.alive_at(2.0 + 2.0**-40)
 
 
 class TestAssignment:

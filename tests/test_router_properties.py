@@ -5,8 +5,7 @@ varying sizes and gaps) and checks the invariants that every CityMesh
 route must satisfy regardless of geometry.
 """
 
-import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.buildgraph import NoRouteError
