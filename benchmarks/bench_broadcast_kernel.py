@@ -31,6 +31,7 @@ from repro.experiments import (
 )
 from repro.geometry import Polygon
 from repro.mesh import APGraph, place_aps
+from repro.obs import RunManifest, close_trace, set_trace_path, span
 from repro.sim import FloodPolicy, simulate_broadcast
 
 # ~48 x 48 jittered city blocks at 1 AP / 200 m^2 -> ~10k APs.
@@ -74,7 +75,9 @@ def big_graph():
 def perf_record():
     """Accumulates measurements; dumped as one JSON record at teardown."""
     record = {"bench": "broadcast_kernel", "usable_cpus": USABLE_CPUS}
+    manifest = RunManifest.begin(config={"bench": "broadcast_kernel"}, seed=0)
     yield record
+    record["manifest"] = manifest.finish().to_dict()
     record["timestamp"] = time.time()
     payload = json.dumps(record, indent=2, sort_keys=True)
     path = os.environ.get("BROADCAST_PERF_JSON")
@@ -119,6 +122,44 @@ def test_bench_fastpath_vs_reference(big_graph, perf_record):
     perf_record["fastpath_s"] = fast_s
     perf_record["fastpath_speedup"] = speedup
     assert speedup >= 3.0, (ref_s, fast_s)
+
+
+def test_bench_obs_overhead(big_graph, perf_record, tmp_path):
+    """Observability acceptance bar: the full obs stack (metric flush
+    plus an active span with a JSONL trace sink) adds < 5 % wall time
+    to the 10k-AP flood.  The metric flush is always on and therefore
+    inside both timings; the span + sink are the switchable part."""
+    dest = big_graph.aps[-1].building_id
+
+    def flood(traced):
+        t0 = time.perf_counter()
+        if traced:
+            with span("bench.flood"):
+                simulate_broadcast(
+                    big_graph, 0, dest, FloodPolicy(), random.Random(0),
+                    fast=True,
+                )
+        else:
+            simulate_broadcast(
+                big_graph, 0, dest, FloodPolicy(), random.Random(0),
+                fast=True,
+            )
+        return time.perf_counter() - t0
+
+    plain_s = traced_s = float("inf")
+    for _ in range(5):
+        plain_s = min(plain_s, flood(traced=False))
+        set_trace_path(str(tmp_path / "flood-trace.jsonl"))
+        try:
+            traced_s = min(traced_s, flood(traced=True))
+        finally:
+            close_trace()
+
+    overhead_pct = (traced_s - plain_s) / plain_s * 100.0
+    perf_record["flood_plain_s"] = plain_s
+    perf_record["flood_traced_s"] = traced_s
+    perf_record["obs_overhead_pct"] = overhead_pct
+    assert overhead_pct < 5.0, (plain_s, traced_s)
 
 
 def test_bench_trial_runner_scaling(gridport, perf_record):

@@ -25,6 +25,7 @@ import pytest
 from repro.buildgraph import BuildingGraph
 from repro.city import Building, City
 from repro.geometry import Polygon
+from repro.obs import RunManifest
 
 COLS = ROWS = 100  # 10_000 buildings
 SIZE = 30.0
@@ -63,7 +64,9 @@ def big_graph(big_city):
 def perf_record():
     """Accumulates measurements; dumped as one JSON record at teardown."""
     record = {"bench": "buildgraph", "n_buildings": N_BUILDINGS}
+    manifest = RunManifest.begin(config=dict(record), seed=0)
     yield record
+    record["manifest"] = manifest.finish().to_dict()
     record["timestamp"] = time.time()
     payload = json.dumps(record, indent=2, sort_keys=True)
     path = os.environ.get("BUILDGRAPH_PERF_JSON")

@@ -20,6 +20,7 @@ import pytest
 from repro.city import grid_downtown
 from repro.experiments import WorldSpec, build_world_from_city
 from repro.geometry import Point, Polygon
+from repro.obs import RunManifest
 from repro.scenario import Damage, DeployBridges, ScenarioDriver, ScenarioSpec
 
 BLOCKS = 16  # 16x16 blocks, pitch 104 m -> extent ~1650 m, ~7k APs
@@ -44,7 +45,9 @@ def big_world():
 def perf_record():
     """Accumulates measurements; dumped as one JSON record at teardown."""
     record = {"bench": "scenario"}
+    manifest = RunManifest.begin(config=dict(record), seed=0)
     yield record
+    record["manifest"] = manifest.finish().to_dict()
     record["timestamp"] = time.time()
     payload = json.dumps(record, indent=2, sort_keys=True)
     path = os.environ.get("SCENARIO_PERF_JSON")

@@ -28,8 +28,21 @@ import time
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from ..geometry import GridIndex, Point, Polygon
+from ..obs import REGISTRY
 from .lru import LRUCache
 from .planner import NoRouteError, extract_route, heap_search, sssp_tree
+
+# Registry instruments, resolved once at import: the per-call cost of
+# publishing is a single attribute add, cheap enough for the plan()
+# hot path (the search timers only fire on cache misses, which are
+# dominated by the search itself).
+_M_BUILDS = REGISTRY.counter("buildgraph.builds")
+_M_BUILD_S = REGISTRY.timer("buildgraph.build_s")
+_M_PLAN_CALLS = REGISTRY.counter("buildgraph.plan_calls")
+_M_SEARCH_S = REGISTRY.timer("buildgraph.route_search_s")
+_M_SSSP_S = REGISTRY.timer("buildgraph.sssp_s")
+_M_EXPANDED = REGISTRY.counter("buildgraph.nodes_expanded")
+_M_INVALIDATIONS = REGISTRY.counter("buildgraph.cache_invalidations")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, keeps import light
     from ..city import Building, City
@@ -285,7 +298,10 @@ class BuildingGraph:
             self._stats["build_candidates_checked"] += candidates
             self._stats["build_exact_distance_checks"] += exact
         self._stats["builds"] += 1
-        self._stats["build_time_s"] += time.perf_counter() - t0
+        build_s = time.perf_counter() - t0
+        self._stats["build_time_s"] += build_s
+        _M_BUILDS.inc()
+        _M_BUILD_S.observe(build_s)
         self._extremes_dirty = True
 
     # ------------------------------------------------------------------
@@ -346,6 +362,7 @@ class BuildingGraph:
         self._version += 1
         self._route_cache.clear()
         self._extremes_dirty = True
+        _M_INVALIDATIONS.inc()
 
     def _remove_building_no_bump(self, building_id: int) -> None:
         neighbors = self._adjacency.pop(building_id)
@@ -548,6 +565,7 @@ class BuildingGraph:
         self._check_endpoint(src_building)
         self._check_endpoint(dst_building)
         self._stats["plan_calls"] += 1
+        _M_PLAN_CALLS.inc()
         key = (src_building, dst_building, self._version)
         cached = self._route_cache.get(key)
         if cached is _NO_ROUTE:
@@ -566,10 +584,13 @@ class BuildingGraph:
         else:
             heuristic = None
             self._stats["dijkstra_runs"] += 1
+        t0 = time.perf_counter()
         route, expanded = heap_search(
             self._adjacency.__getitem__, src_building, dst_building, heuristic
         )
+        _M_SEARCH_S.observe(time.perf_counter() - t0)
         self._stats["nodes_expanded"] += expanded
+        _M_EXPANDED.inc(expanded)
         if route is None:
             self._route_cache.put(key, _NO_ROUTE)
             raise NoRouteError(
@@ -597,6 +618,7 @@ class BuildingGraph:
             kill whole experiment sweeps).
         """
         self._stats["plan_calls"] += len(pairs)
+        _M_PLAN_CALLS.inc(len(pairs))
         results: list[list[int] | None] = [None] * len(pairs)
         version = self._version
         pending: dict[int, list[int]] = {}
@@ -612,11 +634,14 @@ class BuildingGraph:
             pending.setdefault(src, []).append(i)
         for src, indices in pending.items():
             targets = {pairs[i][1] for i in indices}
+            t0 = time.perf_counter()
             _, parent, expanded = sssp_tree(
                 self._adjacency.__getitem__, src, targets
             )
+            _M_SSSP_S.observe(time.perf_counter() - t0)
             self._stats["sssp_runs"] += 1
             self._stats["nodes_expanded"] += expanded
+            _M_EXPANDED.inc(expanded)
             for i in indices:
                 dst = pairs[i][1]
                 route = extract_route(parent, src, dst)

@@ -51,6 +51,14 @@ from .experiments import (
     sweep_weight_exponent,
 )
 from .measurement import run_study
+from .obs import (
+    DEFAULT_THRESHOLD_PCT,
+    REGISTRY,
+    close_trace,
+    compare_files,
+    set_trace_path,
+    summarize_trace,
+)
 from .scenario import format_scenario, make_scenario, run_scenario, scenario_names
 
 
@@ -63,6 +71,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help=(
             "worker processes for independent trials (results are "
             "identical for any value; 1 = in-process)"
+        ),
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.jsonl",
+        default=None,
+        help=(
+            "stream observability span events to a JSONL file "
+            "(summarize it afterwards with 'obs show OUT.jsonl')"
         ),
     )
 
@@ -155,6 +172,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scen.add_parser("list", help="list the canned scenarios")
 
+    p = sub.add_parser("obs", help="observability: traces and metric snapshots")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    sp = obs_sub.add_parser(
+        "show", help="summarize a --trace JSONL file (or dump the registry)"
+    )
+    sp.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        help="JSONL trace to summarize; omitted = live registry snapshot",
+    )
+    sp.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    p = sub.add_parser("bench", help="benchmark tooling")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    cp = bench_sub.add_parser(
+        "compare",
+        help="schema-aware perf regression check between two bench records",
+    )
+    cp.add_argument("baseline", help="baseline perf JSON (e.g. BENCH_*.json)")
+    cp.add_argument("current", help="freshly produced perf JSON")
+    cp.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help=(
+            "regression threshold in percent (default: "
+            f"$BENCH_COMPARE_THRESHOLD or {DEFAULT_THRESHOLD_PCT:g})"
+        ),
+    )
+    cp.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0 (CI smoke mode)",
+    )
+    cp.add_argument(
+        "--verbose", action="store_true", help="print unchanged metrics too"
+    )
+
     p = sub.add_parser("export", help="write every artefact as CSV/text files")
     _add_common(p)
     p.add_argument("--out", default="results")
@@ -169,9 +227,62 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "obs":
+        return _run_obs(args)
+    if args.command == "bench":
+        return _run_bench(args)
     seed = getattr(args, "seed", 0)
-    with TrialRunner(workers=getattr(args, "workers", 1)) as runner:
-        return _dispatch(args, seed, runner)
+    trace = getattr(args, "trace", None)
+    if trace:
+        set_trace_path(trace)
+    try:
+        with TrialRunner(workers=getattr(args, "workers", 1)) as runner:
+            return _dispatch(args, seed, runner)
+    finally:
+        if trace:
+            close_trace()
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    """``obs show``: trace summaries and registry snapshots."""
+    import json as _json
+
+    if args.trace is None:
+        print(_json.dumps(REGISTRY.snapshot(), indent=2, sort_keys=True))
+        return 0
+    with open(args.trace) as fh:
+        summary = summarize_trace(fh)
+    if args.json:
+        print(_json.dumps(summary, indent=2))
+        return 0
+    if not summary:
+        print(f"{args.trace}: no span events")
+        return 0
+    print(f"{'span':<28} {'count':>7} {'total_s':>10} {'mean_s':>10} {'max_s':>10}")
+    for name, row in summary.items():
+        print(
+            f"{name:<28} {row['count']:>7} {row['total_s']:>10.4f} "
+            f"{row['mean_s']:>10.6f} {row['max_s']:>10.6f}"
+        )
+    return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    """``bench compare``: the schema-aware regression comparator."""
+    import os as _os
+
+    threshold = args.threshold
+    if threshold is None:
+        threshold = float(
+            _os.environ.get("BENCH_COMPARE_THRESHOLD", DEFAULT_THRESHOLD_PCT)
+        )
+    return compare_files(
+        args.baseline,
+        args.current,
+        threshold_pct=threshold,
+        warn_only=args.warn_only,
+        verbose=args.verbose,
+    )
 
 
 def _dispatch(args: argparse.Namespace, seed: int, runner: TrialRunner) -> int:

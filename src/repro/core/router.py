@@ -156,12 +156,25 @@ class ConduitMembership:
     waypoint tuple because every AP in the mesh sees the same packet;
     the cache is a bounded LRU so a long-lived AP under many distinct
     flows cannot grow without limit.
+
+    When constructed with a ``graph``, the cache is additionally keyed
+    off :attr:`BuildingGraph.version`: any mutation (``patch``,
+    ``add_link``, ``remove_building``) drops every cached conduit path
+    on the next lookup, so a membership check never answers from
+    geometry computed against a pre-mutation map.
     """
 
     DEFAULT_CACHE_SIZE = 4096
 
-    def __init__(self, city: City, cache_size: int = DEFAULT_CACHE_SIZE):
+    def __init__(
+        self,
+        city: City,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        graph: BuildingGraph | None = None,
+    ):
         self.city = city
+        self.graph = graph
+        self._seen_version = graph.version if graph is not None else 0
         self._cache: LRUCache[tuple[tuple[int, ...], float], ConduitPath] = (
             LRUCache(maxsize=cache_size)
         )
@@ -173,6 +186,9 @@ class ConduitMembership:
             KeyError: if a waypoint id is not in this node's map copy
                 (map version skew — the packet cannot be routed here).
         """
+        if self.graph is not None and self.graph.version != self._seen_version:
+            self._cache.clear()
+            self._seen_version = self.graph.version
         key = (header.waypoints, float(header.width_m))
         cached = self._cache.get(key)
         if cached is not None:

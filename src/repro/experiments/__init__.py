@@ -29,6 +29,7 @@ from .common import (
 )
 from .parallel import (
     DeliveryTrial,
+    TrialError,
     TrialRunner,
     delivery_trial,
     delivery_trials,
@@ -78,6 +79,7 @@ __all__ = [
     "SchemeSummary",
     "SweepPoint",
     "Table1Row",
+    "TrialError",
     "TrialRunner",
     "World",
     "WorldSpec",

@@ -28,12 +28,19 @@ import hashlib
 import multiprocessing
 import random
 import time
+import traceback
 from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Iterable, Sequence
 
+from ..obs import REGISTRY
 from ..sim import SimParams
 from .common import DeliveryResult, World, WorldSpec, attempt_delivery
+
+_M_RUNS = REGISTRY.counter("trial_runner.runs")
+_M_TRIALS = REGISTRY.counter("trial_runner.trials")
+_M_RUN_S = REGISTRY.timer("trial_runner.run_s")
+_M_TRIAL_S = REGISTRY.timer("trial_runner.trial_s")
 
 
 def seed_for(base_seed: int, trial_index: int, stream: str = "") -> int:
@@ -55,6 +62,38 @@ def seed_for(base_seed: int, trial_index: int, stream: str = "") -> int:
     )
     digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
     return int.from_bytes(digest, "big") >> 1
+
+
+class TrialError(RuntimeError):
+    """One trial raised inside the runner (in-process or in a worker).
+
+    Carries the failing trial's index into the submitted batch and the
+    full traceback formatted where the exception actually happened —
+    so a crash inside a worker process surfaces with the worker's
+    stack, not a bare ``Pool.map`` re-raise.  The runner never drops or
+    reorders a chunk around a failure: every prior trial's result was
+    still computed, and the *first* failing trial (in submission order)
+    is the one reported.
+    """
+
+    def __init__(self, trial_index: int, error: str, worker_traceback: str):
+        super().__init__(
+            f"trial {trial_index} raised {error}\n"
+            f"--- traceback (from the executing process) ---\n"
+            f"{worker_traceback.rstrip()}"
+        )
+        self.trial_index = trial_index
+        self.error = error
+        self.worker_traceback = worker_traceback
+
+
+@dataclass(frozen=True)
+class _TrialFailure:
+    """Worker-side marker for one failed trial (pickled back verbatim)."""
+
+    trial_index: int
+    error: str
+    worker_traceback: str
 
 
 @dataclass(frozen=True)
@@ -111,14 +150,35 @@ def _worker_world(spec: WorldSpec) -> World:
 
 
 def _run_chunk(
-    payload: tuple[Callable[..., Any], WorldSpec | None, list[Any]]
-) -> list[Any]:
-    """Run one chunk of trials against this worker's cached world."""
-    fn, spec, chunk = payload
-    if spec is None:
-        return [fn(item) for item in chunk]
-    world = _worker_world(spec)
-    return [fn(world, item) for item in chunk]
+    payload: tuple[Callable[..., Any], WorldSpec | None, int, list[Any]]
+) -> tuple[list[Any], list[float]]:
+    """Run one chunk of trials against this worker's cached world.
+
+    Returns the chunk's results *and* per-trial wall timings (merged by
+    the parent in submission order, so the merged timing stream is
+    deterministic whatever worker ran the chunk).  A trial that raises
+    becomes an in-band :class:`_TrialFailure` carrying the worker's
+    traceback and the trial's absolute index (``base`` + offset); the
+    rest of the chunk still runs, and the parent raises on the first
+    failure in submission order.
+    """
+    fn, spec, base, chunk = payload
+    world = _worker_world(spec) if spec is not None else None
+    results: list[Any] = []
+    timings: list[float] = []
+    for offset, item in enumerate(chunk):
+        t0 = time.perf_counter()
+        try:
+            result = fn(item) if world is None else fn(world, item)
+        except Exception as exc:
+            result = _TrialFailure(
+                trial_index=base + offset,
+                error=repr(exc),
+                worker_traceback=traceback.format_exc(),
+            )
+        timings.append(time.perf_counter() - t0)
+        results.append(result)
+    return results, timings
 
 
 class TrialRunner:
@@ -226,6 +286,9 @@ class TrialRunner:
         s["last_run_s"] = elapsed
         s["last_trials"] = len(items)
         s["last_trials_per_s"] = len(items) / elapsed if elapsed > 0 else 0.0
+        _M_RUNS.inc()
+        _M_TRIALS.inc(len(items))
+        _M_RUN_S.observe(elapsed)
         return results
 
     def _map_serial(
@@ -235,14 +298,25 @@ class TrialRunner:
         spec: WorldSpec | None,
         world: World | None,
     ) -> list[Any]:
-        if spec is None and world is None:
-            return [fn(item) for item in items]
-        if world is None:
+        if spec is not None and world is None:
             world = self._local_worlds.get(spec)
             if world is None:
                 world = spec.build()
                 self._local_worlds[spec] = world
-        return [fn(world, item) for item in items]
+        results: list[Any] = []
+        for index, item in enumerate(items):
+            t0 = time.perf_counter()
+            try:
+                results.append(fn(item) if world is None else fn(world, item))
+            except Exception as exc:
+                raise TrialError(
+                    trial_index=index,
+                    error=repr(exc),
+                    worker_traceback=traceback.format_exc(),
+                ) from exc
+            finally:
+                _M_TRIAL_S.observe(time.perf_counter() - t0)
+        return results
 
     def _map_parallel(
         self,
@@ -261,14 +335,32 @@ class TrialRunner:
             1, -(-len(items) // (self.workers * 4))
         )
         payloads = [
-            (fn, spec, items[i : i + chunk]) for i in range(0, len(items), chunk)
+            (fn, spec, i, items[i : i + chunk])
+            for i in range(0, len(items), chunk)
         ]
         self._stats["chunks"] += len(payloads)
         pool = self._ensure_pool(spec)
         # Pool.map preserves submission order, so the merged output is
-        # independent of which worker ran which chunk.
+        # independent of which worker ran which chunk — and so is the
+        # merged per-trial timing stream fed to the registry below.
         chunked = pool.map(_run_chunk, payloads, chunksize=1)
-        return [result for chunk_results in chunked for result in chunk_results]
+        results: list[Any] = []
+        failure: _TrialFailure | None = None
+        for chunk_results, chunk_timings in chunked:
+            results.extend(chunk_results)
+            for dt in chunk_timings:
+                _M_TRIAL_S.observe(dt)
+        for result in results:
+            if isinstance(result, _TrialFailure):
+                failure = result
+                break
+        if failure is not None:
+            raise TrialError(
+                trial_index=failure.trial_index,
+                error=failure.error,
+                worker_traceback=failure.worker_traceback,
+            )
+        return results
 
     def run_deliveries(
         self,

@@ -1,0 +1,67 @@
+"""``repro.obs``: the unified observability layer.
+
+Three zero-dependency pieces every other subsystem can lean on:
+
+- :mod:`~repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  of counters, gauges, and histogram timers with deterministic
+  snapshots; hot loops accumulate locally and flush once per run.
+- :mod:`~repro.obs.spans` — nestable ``with span(name):`` trace
+  contexts that feed the registry and, when a sink is installed
+  (``--trace out.jsonl`` on the CLI), emit a JSONL event stream.
+- :mod:`~repro.obs.manifest` — :class:`RunManifest` (git SHA, config
+  hash, seed, wall/CPU time, peak RSS) embedded in every benchmark and
+  scenario JSON so results carry their provenance.
+
+Plus the consumer: :mod:`~repro.obs.compare`, the schema-aware
+regression comparator behind ``repro bench compare``.
+
+This package imports nothing from the rest of ``repro`` — it sits
+below every layer, so the graph core, both broadcast engines, the
+trial runner, and the scenario driver can all instrument through it
+without cycles.
+"""
+
+from .compare import (
+    DEFAULT_THRESHOLD_PCT,
+    CompareReport,
+    MetricDelta,
+    compare_files,
+    compare_records,
+    format_report,
+    metric_direction,
+)
+from .manifest import RunManifest, config_hash, repo_git_sha
+from .metrics import REGISTRY, Counter, Gauge, MetricsRegistry, Timer, get_registry
+from .spans import (
+    close_trace,
+    set_trace_path,
+    set_trace_sink,
+    span,
+    summarize_trace,
+    trace_enabled,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Timer",
+    "get_registry",
+    "span",
+    "set_trace_path",
+    "set_trace_sink",
+    "close_trace",
+    "trace_enabled",
+    "summarize_trace",
+    "RunManifest",
+    "config_hash",
+    "repo_git_sha",
+    "CompareReport",
+    "MetricDelta",
+    "DEFAULT_THRESHOLD_PCT",
+    "compare_records",
+    "compare_files",
+    "format_report",
+    "metric_direction",
+]

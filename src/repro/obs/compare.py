@@ -1,0 +1,206 @@
+"""Schema-aware benchmark regression comparator (``repro bench compare``).
+
+The bench suite emits flat JSON perf records (``BENCH_*`` baselines are
+committed copies of those records).  Comparing two of them naively —
+"did any number move?" — is useless: half the fields are structural
+(``n_aps``, ``edges``), some are better *higher* (``epochs_per_s``,
+``fastpath_speedup``), most are better *lower* (anything in seconds,
+work counters like ``nodes_expanded``).  This module encodes that
+schema as name rules so the verdict is per-metric directional:
+
+- **lower-is-better**: names ending in ``_s`` (durations) and known
+  work counters (``nodes_expanded``, ``*_checked``, ``transmissions``…);
+- **higher-is-better**: throughputs (``*_per_s``), ``*speedup*``,
+  ``*scaling*``, ``*delivery_rate*``;
+- **informational**: everything else — reported when it drifts, never
+  a regression (structure may legitimately change with the workload).
+
+A metric regresses when it moves in its bad direction by more than
+``threshold_pct`` percent.  ``timestamp``, ``manifest``, and other
+non-numeric fields are ignored.  The comparator is what CI runs
+(warn-only at first) against the committed baselines, and what the
+acceptance fixture pair exercises: identical records compare clean, a
+synthetic 20 % slowdown is flagged at the default 10 % threshold.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+DEFAULT_THRESHOLD_PCT = 10.0
+
+#: Fields that are metadata, never metrics.
+SKIP_KEYS = frozenset({"timestamp", "manifest", "bench"})
+
+#: Substrings marking a metric where bigger numbers are better.
+_HIGHER_MARKERS = ("per_s", "speedup", "scaling", "delivery_rate", "rate")
+
+#: Work counters: not wall-clock, but more of them is still worse.
+_LOWER_COUNTERS = (
+    "nodes_expanded",
+    "candidates_checked",
+    "distance_checks",
+    "transmissions",
+    "replans",
+    "sssp_runs",
+)
+
+
+def metric_direction(name: str) -> str | None:
+    """``"lower"`` / ``"higher"`` when the schema knows, else None.
+
+    None means informational: the metric is reported but can never
+    regress (counts of APs, edges, flows, trial sizes…).
+    """
+    for marker in _HIGHER_MARKERS:
+        if marker in name:
+            return "higher"
+    if name.endswith("_s"):
+        return "lower"
+    for marker in _LOWER_COUNTERS:
+        if marker in name:
+            return "lower"
+    return None
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's movement between a baseline and a current record."""
+
+    name: str
+    baseline: float
+    current: float
+    pct_change: float  # signed; positive = value went up
+    direction: str | None  # "lower", "higher", or None (informational)
+    regressed: bool
+    improved: bool
+
+
+@dataclass(frozen=True)
+class CompareReport:
+    """The comparator's full verdict over one record pair."""
+
+    bench: str
+    threshold_pct: float
+    deltas: tuple[MetricDelta, ...]
+    missing_in_current: tuple[str, ...]
+    new_in_current: tuple[str, ...]
+
+    @property
+    def regressions(self) -> tuple[MetricDelta, ...]:
+        return tuple(d for d in self.deltas if d.regressed)
+
+    @property
+    def improvements(self) -> tuple[MetricDelta, ...]:
+        return tuple(d for d in self.deltas if d.improved)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed and the schema still matches."""
+        return not self.regressions and not self.missing_in_current
+
+
+def _numeric_metrics(record: dict) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for key, value in record.items():
+        if key in SKIP_KEYS:
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        out[key] = float(value)
+    return out
+
+
+def compare_records(
+    baseline: dict,
+    current: dict,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+) -> CompareReport:
+    """Compare two perf records; see the module docstring for rules."""
+    if threshold_pct < 0:
+        raise ValueError("threshold must be non-negative")
+    base = _numeric_metrics(baseline)
+    cur = _numeric_metrics(current)
+    deltas: list[MetricDelta] = []
+    for name in sorted(base.keys() & cur.keys()):
+        b, c = base[name], cur[name]
+        if b == 0.0:
+            pct = 0.0 if c == 0.0 else float("inf") * (1 if c > 0 else -1)
+        else:
+            pct = (c - b) / abs(b) * 100.0
+        direction = metric_direction(name)
+        regressed = improved = False
+        if direction == "lower":
+            regressed = pct > threshold_pct
+            improved = pct < -threshold_pct
+        elif direction == "higher":
+            regressed = pct < -threshold_pct
+            improved = pct > threshold_pct
+        deltas.append(
+            MetricDelta(name, b, c, pct, direction, regressed, improved)
+        )
+    return CompareReport(
+        bench=str(baseline.get("bench", current.get("bench", "?"))),
+        threshold_pct=threshold_pct,
+        deltas=tuple(deltas),
+        missing_in_current=tuple(sorted(base.keys() - cur.keys())),
+        new_in_current=tuple(sorted(cur.keys() - base.keys())),
+    )
+
+
+def format_report(report: CompareReport, verbose: bool = False) -> str:
+    """Human-readable verdict; regressions first, then notable moves."""
+    lines = [
+        f"bench compare: {report.bench} "
+        f"(threshold ±{report.threshold_pct:g}%)"
+    ]
+    arrow = {"lower": "less is better", "higher": "more is better"}
+
+    def row(d: MetricDelta, tag: str) -> str:
+        note = arrow.get(d.direction or "", "informational")
+        return (
+            f"  {tag} {d.name}: {d.baseline:g} -> {d.current:g} "
+            f"({d.pct_change:+.1f}%, {note})"
+        )
+
+    for d in report.regressions:
+        lines.append(row(d, "REGRESSED"))
+    for d in report.improvements:
+        lines.append(row(d, "improved "))
+    if verbose:
+        for d in report.deltas:
+            if not d.regressed and not d.improved:
+                lines.append(row(d, "         "))
+    for name in report.missing_in_current:
+        lines.append(f"  MISSING   {name}: in baseline but not in current")
+    for name in report.new_in_current:
+        lines.append(f"  new       {name}: not in baseline (ignored)")
+    verdict = "OK" if report.ok else f"{len(report.regressions)} regression(s)"
+    if report.missing_in_current:
+        verdict += f", {len(report.missing_in_current)} missing metric(s)"
+    lines.append(f"  verdict: {verdict}")
+    return "\n".join(lines)
+
+
+def compare_files(
+    baseline_path: str,
+    current_path: str,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    warn_only: bool = False,
+    verbose: bool = False,
+) -> int:
+    """CLI driver: load, compare, print, return a process exit code.
+
+    ``warn_only`` always exits 0 (the CI smoke mode); otherwise a
+    regression or a schema mismatch exits 1.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    with open(current_path) as fh:
+        current = json.load(fh)
+    report = compare_records(baseline, current, threshold_pct=threshold_pct)
+    print(format_report(report, verbose=verbose))
+    if warn_only or report.ok:
+        return 0
+    return 1

@@ -1,0 +1,156 @@
+"""Nestable trace spans with an optional JSONL event sink.
+
+``with span("scenario.epoch", epoch=3):`` times a region, records the
+duration into the process registry (as the ``span.<name>`` timer), and
+— when a trace sink is installed via :func:`set_trace_path` — appends
+one JSON line per completed span:
+
+.. code-block:: json
+
+    {"seq": 4, "name": "scenario.patch", "parent": "scenario.epoch",
+     "depth": 1, "start_s": 0.01327, "dur_s": 0.00021, "epoch": 3}
+
+``start_s`` is relative to sink installation (monotonic clock), spans
+are emitted in *completion* order (inner before outer, as any tracer
+does), and ``seq`` makes the stream totally ordered for consumers.
+Extra keyword attributes land verbatim in the event, so keep them
+JSON-serializable.
+
+With no sink installed the per-span cost is two ``perf_counter`` calls,
+a list push/pop, and one timer observation — cheap enough to leave on
+in the scenario driver and the trial runner permanently.  Nesting is
+tracked per thread.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import IO, Iterator
+
+from .metrics import REGISTRY
+
+_local = threading.local()
+_sink: IO[str] | None = None
+_sink_owned = False
+_sink_lock = threading.Lock()
+_seq = 0
+_base = 0.0
+
+
+def _stack() -> list[str]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def set_trace_sink(sink: IO[str] | None, owned: bool = False) -> None:
+    """Install (or, with ``None``, remove) the JSONL event sink.
+
+    Any previously installed *owned* sink (one opened by
+    :func:`set_trace_path`) is closed first.
+    """
+    global _sink, _sink_owned, _seq, _base
+    with _sink_lock:
+        if _sink is not None and _sink_owned:
+            _sink.close()
+        _sink = sink
+        _sink_owned = owned
+        _seq = 0
+        _base = time.perf_counter()
+
+
+def set_trace_path(path: str) -> None:
+    """Open ``path`` for writing and stream span events to it."""
+    set_trace_sink(open(path, "w"), owned=True)
+
+
+def close_trace() -> None:
+    """Flush and detach the current sink (closing it if we opened it)."""
+    set_trace_sink(None)
+
+
+def trace_enabled() -> bool:
+    """Whether span events are currently being written anywhere."""
+    return _sink is not None
+
+
+def _emit(name: str, parent: str | None, depth: int, start: float,
+          dur: float, attrs: dict) -> None:
+    global _seq
+    event = {
+        "seq": _seq,
+        "name": name,
+        "parent": parent,
+        "depth": depth,
+        "start_s": start - _base,
+        "dur_s": dur,
+    }
+    if attrs:
+        event.update(attrs)
+    line = json.dumps(event, sort_keys=True, default=repr)
+    with _sink_lock:
+        sink = _sink
+        if sink is None:
+            return
+        _seq += 1
+        sink.write(line + "\n")
+
+
+@contextmanager
+def span(name: str, **attrs: object) -> Iterator[None]:
+    """Time a region, nestably; see the module docstring for output."""
+    stack = _stack()
+    parent = stack[-1] if stack else None
+    depth = len(stack)
+    stack.append(name)
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        dur = time.perf_counter() - start
+        stack.pop()
+        REGISTRY.timer("span." + name).observe(dur)
+        if _sink is not None:
+            _emit(name, parent, depth, start, dur, attrs)
+
+
+def summarize_trace(lines: Iterator[str]) -> dict[str, dict[str, float]]:
+    """Aggregate a JSONL trace into per-span-name timing rows.
+
+    Returns ``{name: {count, total_s, mean_s, max_s, max_depth}}``,
+    sorted by descending total time.  Malformed lines are skipped (a
+    crashed run may truncate its last event).
+    """
+    agg: dict[str, dict[str, float]] = {}
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+            name = event["name"]
+            dur = float(event["dur_s"])
+            depth = int(event.get("depth", 0))
+        except (ValueError, KeyError, TypeError):
+            continue
+        row = agg.get(name)
+        if row is None:
+            row = agg[name] = {
+                "count": 0, "total_s": 0.0, "mean_s": 0.0,
+                "max_s": 0.0, "max_depth": 0,
+            }
+        row["count"] += 1
+        row["total_s"] += dur
+        if dur > row["max_s"]:
+            row["max_s"] = dur
+        if depth > row["max_depth"]:
+            row["max_depth"] = depth
+    for row in agg.values():
+        row["mean_s"] = row["total_s"] / row["count"] if row["count"] else 0.0
+    return dict(
+        sorted(agg.items(), key=lambda kv: kv[1]["total_s"], reverse=True)
+    )

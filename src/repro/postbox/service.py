@@ -112,13 +112,15 @@ class MessagingService:
         for the immediate forwarding of urgent messages … Bob's postbox
         caches location updates from his device."  Each pending push is
         routed from the postbox's building to the building nearest the
-        cached location as an ordinary CityMesh unicast.  Pushes are
-        consumed regardless of delivery (the message itself stays safe
-        in the postbox until the owner checks in).
+        cached location as an ordinary CityMesh unicast.  The push
+        *records* are consumed here either way; a push that is
+        confirmed delivered is also removed from the postbox's pending
+        set (:meth:`~repro.postbox.Postbox.confirm_push`), so the owner
+        never receives the same message again at the next check — while
+        a failed push leaves the stored copy safe for normal retrieval.
         """
         postbox = participant.postbox
-        pushes = list(postbox.pushed)
-        postbox.pushed.clear()
+        pushes = postbox.take_pushes()
         if not pushes:
             return []
         location = postbox.last_known_location
@@ -130,8 +132,9 @@ class MessagingService:
         home = participant.address.building_id
         src_aps = self.graph.aps_in_building(home)
         reports: list[SendReport] = []
-        for _push in pushes:
+        for push in pushes:
             if target.id == home:
+                postbox.confirm_push(push)
                 reports.append(SendReport(True, 0, 0.0, None))
                 continue
             if not src_aps:
@@ -146,6 +149,8 @@ class MessagingService:
             result = simulate_broadcast(
                 self.graph, src_aps[0], target.id, policy, self.rng
             )
+            if result.delivered:
+                postbox.confirm_push(push)
             reports.append(
                 SendReport(
                     delivered=result.delivered,

@@ -59,6 +59,14 @@ class Postbox:
         Urgent messages trigger a push record when the preferences
         allow it and the owner has checked in at least once (so a
         location is cached to push towards).
+
+        Push-vs-retrieve semantics: a pushed message **stays pending**
+        (a push may fail in transit — the stored copy is the safety
+        net) until the push is *confirmed* delivered via
+        :meth:`confirm_push`, at which point it leaves the pending set
+        so the next :meth:`check` does not hand the owner a second
+        copy.  The owner therefore sees each message exactly once on
+        the success path and at least once always.
         """
         self.expire(now_s)
         if len(self._messages) >= self.capacity:
@@ -71,13 +79,41 @@ class Postbox:
 
     def check(self, now_s: float, location: Point) -> list[StoredMessage]:
         """Owner retrieval (§3 step 4): returns and clears pending
-        messages, caching the device's location for future pushes."""
+        messages, caching the device's location for future pushes.
+
+        Messages whose push was confirmed (:meth:`confirm_push`) were
+        already removed from pending and are not returned again."""
         self.expire(now_s)
         self._last_known_location = location
         self._last_check_time_s = now_s
         pending = self._messages
         self._messages = []
         return pending
+
+    def take_pushes(self) -> list[StoredMessage]:
+        """Drain the pending push records (the forwarder's work queue).
+
+        Draining does *not* remove the messages from the pending set —
+        call :meth:`confirm_push` for each push that actually reached
+        the owner.
+        """
+        pushes = list(self.pushed)
+        self.pushed.clear()
+        return pushes
+
+    def confirm_push(self, message: StoredMessage) -> bool:
+        """Record that a pushed message reached the owner.
+
+        Removes that exact message (identity, not equality — duplicate
+        sealed bytes are distinct messages) from the pending set so the
+        next :meth:`check` does not deliver it a second time.  Returns
+        False when the message was already retrieved or expired.
+        """
+        for i, pending in enumerate(self._messages):
+            if pending is message:
+                del self._messages[i]
+                return True
+        return False
 
     def pending_count(self) -> int:
         """Messages currently waiting."""

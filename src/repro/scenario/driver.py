@@ -49,6 +49,7 @@ from ..mesh import (
     find_islands,
     plan_bridge,
 )
+from ..obs import REGISTRY, RunManifest, span
 from ..sim import ConduitPolicy, simulate_broadcast
 from .events import APChurn, Damage, DeployBridges, GridOutage, PowerRestored
 from .model import EpochReport, ScenarioResult, ScenarioSpec
@@ -351,35 +352,40 @@ class ScenarioDriver:
         removals: list[int] = []
         links: list[tuple[int, int]] = []
         deployed_now = 0
-        for ev in spec.events:
-            if isinstance(ev, APChurn):
-                # Windows fire every epoch they span, not just at start.
-                if ev.epoch <= epoch <= ev.until_epoch:
-                    self._apply_churn(ev, epoch)
-                    fired.append(ev.describe())
-                continue
-            if ev.epoch != epoch:
-                continue
-            fired.append(ev.describe())
-            if isinstance(ev, GridOutage):
-                self._outages.append((ev.region, epoch))
-            elif isinstance(ev, PowerRestored):
-                self._outages = [
-                    (region, start)
-                    for region, start in self._outages
-                    if ev.region is not None and region != ev.region
-                ]
-            elif isinstance(ev, Damage):
-                removals.extend(self._apply_damage(ev))
-            elif isinstance(ev, DeployBridges):
-                count, new_links = self._apply_bridges(ev, epoch)
-                deployed_now += count
-                links.extend(new_links)
-        mutated = bg.patch(remove=removals, add_links=links)
-        replans = self._refresh_plans()
+        with span("scenario.events", epoch=epoch):
+            for ev in spec.events:
+                if isinstance(ev, APChurn):
+                    # Windows fire every epoch they span, not at start.
+                    if ev.epoch <= epoch <= ev.until_epoch:
+                        self._apply_churn(ev, epoch)
+                        fired.append(ev.describe())
+                    continue
+                if ev.epoch != epoch:
+                    continue
+                fired.append(ev.describe())
+                if isinstance(ev, GridOutage):
+                    self._outages.append((ev.region, epoch))
+                elif isinstance(ev, PowerRestored):
+                    self._outages = [
+                        (region, start)
+                        for region, start in self._outages
+                        if ev.region is not None and region != ev.region
+                    ]
+                elif isinstance(ev, Damage):
+                    removals.extend(self._apply_damage(ev))
+                elif isinstance(ev, DeployBridges):
+                    count, new_links = self._apply_bridges(ev, epoch)
+                    deployed_now += count
+                    links.extend(new_links)
+        with span("scenario.patch", epoch=epoch):
+            mutated = bg.patch(remove=removals, add_links=links)
+        with span("scenario.replan", epoch=epoch):
+            replans = self._refresh_plans()
 
-        alive = self._alive_set(epoch)
-        islands = find_islands(self.graph, min_size=1, alive=alive)
+        with span("scenario.islands", epoch=epoch):
+            alive = self._alive_set(epoch)
+            islands = find_islands(self.graph, min_size=1, alive=alive)
+        REGISTRY.gauge("scenario.alive_aps").set(len(alive))
         island_of: dict[int, int] = {}
         for idx, island in enumerate(islands):
             for ap_id in island.ap_ids:
@@ -432,12 +438,13 @@ class ScenarioDriver:
 
         # The world's own spec (== spec.world for built worlds) is what
         # workers rebuild from; an injected spec-less world runs serial.
-        outcomes = self._runner.map(
-            scenario_flow_trial,
-            trials,
-            spec=self.world.spec,
-            world=self.world,
-        )
+        with span("scenario.simulate", epoch=epoch, flows=len(trials)):
+            outcomes = self._runner.map(
+                scenario_flow_trial,
+                trials,
+                spec=self.world.spec,
+                world=self.world,
+            )
         delivered = sum(1 for ok, _tx in outcomes if ok)
         transmissions = sum(tx for _ok, tx in outcomes)
 
@@ -471,8 +478,20 @@ class ScenarioDriver:
         )
 
     def run(self) -> ScenarioResult:
-        """Step the full timeline and aggregate the reports."""
-        reports = tuple(self._step(e) for e in range(self.spec.epochs))
+        """Step the full timeline and aggregate the reports.
+
+        The result carries a :class:`~repro.obs.RunManifest` (git SHA,
+        config hash of the spec's stream, seed, wall/CPU/RSS cost) —
+        the only non-deterministic block in its JSON.
+        """
+        manifest = RunManifest.begin(
+            config=self.spec.stream(), seed=self.spec.world.seed
+        )
+        reports: list[EpochReport] = []
+        with span("scenario.run", scenario=self.spec.name):
+            for e in range(self.spec.epochs):
+                with span("scenario.epoch", epoch=e):
+                    reports.append(self._step(e))
         return ScenarioResult(
             name=self.spec.name,
             city=self.spec.world.city_name,
@@ -480,7 +499,8 @@ class ScenarioDriver:
             epoch_hours=self.spec.epoch_hours,
             flow_count=len(self.flows),
             initial_aps=len(self.world.graph.aps),
-            epochs=reports,
+            epochs=tuple(reports),
+            manifest=manifest.finish().to_dict(),
         )
 
 

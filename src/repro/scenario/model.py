@@ -132,7 +132,16 @@ class EpochReport:
 
 @dataclass(frozen=True)
 class ScenarioResult:
-    """A full timeline's reports plus cross-epoch aggregates."""
+    """A full timeline's reports plus cross-epoch aggregates.
+
+    ``manifest`` is the run's :class:`~repro.obs.RunManifest` as a
+    plain dict (git SHA, config hash, seed, wall/CPU time, peak RSS).
+    It is excluded from equality — two runs of the same spec produce
+    equal results with different manifests — and it is the **only**
+    non-deterministic block in the JSON: strip it (or compare with
+    :meth:`to_json` ``manifest=False``) when asserting byte-identity
+    across runs or worker counts.
+    """
 
     name: str
     city: str
@@ -141,6 +150,7 @@ class ScenarioResult:
     flow_count: int
     initial_aps: int
     epochs: tuple[EpochReport, ...] = field(default=())
+    manifest: dict | None = field(default=None, compare=False)
 
     @property
     def total_replans(self) -> int:
@@ -162,8 +172,8 @@ class ScenarioResult:
     def total_deployed_aps(self) -> int:
         return sum(e.deployed_aps for e in self.epochs)
 
-    def to_dict(self) -> dict:
-        return {
+    def to_dict(self, manifest: bool = True) -> dict:
+        out = {
             "name": self.name,
             "city": self.city,
             "seed": self.seed,
@@ -179,11 +189,18 @@ class ScenarioResult:
                 "total_deployed_aps": self.total_deployed_aps,
             },
         }
+        if manifest and self.manifest is not None:
+            out["manifest"] = self.manifest
+        return out
 
-    def to_json(self, indent: int | None = None) -> str:
-        """Deterministic JSON: sorted keys, no environment leakage —
-        byte-identical across runs and worker counts."""
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+    def to_json(self, indent: int | None = None, manifest: bool = True) -> str:
+        """Sorted-keys JSON.  Everything outside the ``manifest`` block
+        is deterministic — byte-identical across runs and worker
+        counts; pass ``manifest=False`` for the fully deterministic
+        core (what invariance tests compare)."""
+        return json.dumps(
+            self.to_dict(manifest=manifest), indent=indent, sort_keys=True
+        )
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioResult":
@@ -200,6 +217,7 @@ class ScenarioResult:
             flow_count=data["flow_count"],
             initial_aps=data["initial_aps"],
             epochs=epochs,
+            manifest=data.get("manifest"),
         )
 
 

@@ -19,8 +19,36 @@ from ..city import City
 from ..core import ConduitMembership, PacketHeader
 from ..geometry import ConduitPath
 from ..mesh import APGraph, AccessPoint
+from ..obs import REGISTRY
 from .engine import Environment
 from .radio import DEFAULT_JITTER_S, UnitDiskRadio
+
+# Registry instruments shared by both engines (reference and fastpath).
+# Flushed once per simulated broadcast from the finished result — the
+# event loops themselves carry zero instrumentation overhead.
+_M_BROADCASTS = REGISTRY.counter("sim.broadcasts")
+_M_EVENTS = REGISTRY.counter("sim.events_processed")
+_M_TX = REGISTRY.counter("sim.transmissions")
+_M_REBROADCASTS = REGISTRY.counter("sim.rebroadcasts")
+_M_SUPPRESSED = REGISTRY.counter("sim.suppressed")
+_M_DELIVERED = REGISTRY.counter("sim.delivered")
+
+
+def record_broadcast_metrics(result: "BroadcastResult") -> None:
+    """Flush one finished broadcast's accounting into the registry.
+
+    Events processed = receptions + transmissions (every queue pop the
+    engine dispatched); rebroadcasts exclude the source's mandatory
+    first transmission.
+    """
+    _M_BROADCASTS.inc()
+    _M_EVENTS.inc(result.receptions + result.transmissions)
+    _M_TX.inc(result.transmissions)
+    if result.transmissions > 0:
+        _M_REBROADCASTS.inc(result.transmissions - 1)
+    _M_SUPPRESSED.inc(result.suppressed)
+    if result.delivered:
+        _M_DELIVERED.inc()
 
 
 class RebroadcastPolicy(Protocol):
@@ -276,6 +304,7 @@ def simulate_broadcast(
         result.delivery_time_s = 0.0
     transmit(source_ap)
     env.run(until=None if params.max_sim_time_s == float("inf") else params.max_sim_time_s)
+    record_broadcast_metrics(result)
     return result
 
 

@@ -40,6 +40,7 @@ from .broadcast import (
     PositionConduitPolicy,
     RebroadcastPolicy,
     SimParams,
+    record_broadcast_metrics,
 )
 from .radio import LossyRadio, UnitDiskRadio
 
@@ -205,7 +206,7 @@ def simulate_broadcast_fast(
         else:
             do_transmit(time, ap_id)
 
-    return BroadcastResult(
+    result = BroadcastResult(
         delivered=delivered,
         delivery_time_s=delivery_time,
         transmissions=transmissions,
@@ -215,3 +216,5 @@ def simulate_broadcast_fast(
         transmitters=transmitters,
         heard=heard,
     )
+    record_broadcast_metrics(result)
+    return result

@@ -395,6 +395,55 @@ class TestLRUCache:
         assert "b" not in c
         assert c.get("a") == 10
 
+    def test_clear_preserves_counters(self):
+        """clear() drops entries but keeps the accounting — counters
+        are monotone until reset_counters() is called."""
+        c = LRUCache(maxsize=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("c", 3)  # evicts "a"
+        c.get("b")
+        c.get("zzz")
+        before = c.counters()
+        c.clear()
+        after = c.counters()
+        assert len(c) == 0
+        assert after["size"] == 0
+        assert (after["hits"], after["misses"], after["evictions"]) == (
+            before["hits"],
+            before["misses"],
+            before["evictions"],
+        ) == (1, 1, 1)
+
+    def test_reset_counters_zeroes_all_three(self):
+        c = LRUCache(maxsize=1)
+        c.put("a", 1)
+        c.put("b", 2)  # evicts "a"
+        c.get("b")
+        c.get("a")  # miss
+        assert c.counters()["evictions"] == 1
+        c.reset_counters()
+        snap = c.counters()
+        assert (snap["hits"], snap["misses"], snap["evictions"]) == (0, 0, 0)
+        assert snap["size"] == 1  # entries untouched
+
+    def test_counters_consistent_under_eviction_churn(self):
+        """Every get is a hit or a miss; evictions never exceed puts of
+        novel keys minus capacity; size stays bounded."""
+        c = LRUCache(maxsize=8)
+        gets = 0
+        novel_puts = 0
+        for i in range(200):
+            key = i % 24  # 24 distinct keys through an 8-slot cache
+            if c.get(key) is None:
+                c.put(key, i)
+                novel_puts += 1
+            gets += 1
+        snap = c.counters()
+        assert snap["hits"] + snap["misses"] == gets
+        assert snap["evictions"] == novel_puts - snap["size"]
+        assert snap["size"] <= snap["maxsize"] == 8
+
 
 class TestConduitMembershipBounded:
     def test_cache_is_bounded(self):

@@ -138,6 +138,52 @@ class TestConduitMembership:
         with pytest.raises(KeyError):
             m.conduits_of(plan.header)
 
+    def test_graph_mutation_invalidates_conduit_cache(self):
+        """Version bump must drop cached conduit paths, not serve
+        geometry computed against the pre-mutation map."""
+        city = linear_city()
+        graph = BuildingGraph(city)
+        plan = BuildingRouter(city, graph=graph).plan(1, 6)
+        m = ConduitMembership(city, graph=graph)
+        first = m.conduits_of(plan.header)
+        assert m.conduits_of(plan.header) is first  # warm
+        graph.add_link(1, 3)
+        after_add = m.conduits_of(plan.header)
+        assert after_add is not first
+        graph.patch(remove=[2], add_links=[(1, 3)])
+        assert m.conduits_of(plan.header) is not after_add
+
+    def test_graphless_membership_keeps_cache(self):
+        """Without a graph there is no version to watch — the cache
+        behaves exactly as before."""
+        city = linear_city()
+        plan = BuildingRouter(city).plan(1, 6)
+        m = ConduitMembership(city)
+        assert m.conduits_of(plan.header) is m.conduits_of(plan.header)
+
+    def test_patch_invalidates_route_cache_and_membership(self):
+        """The satellite regression: one ``patch()`` call must
+        invalidate both the route LRU and the conduit cache — a stale
+        route through a demolished building must never be served."""
+        city = linear_city()
+        graph = BuildingGraph(city)
+        router = BuildingRouter(city, graph=graph)
+        m = ConduitMembership(city, graph=graph)
+        plan = router.plan(1, 6)
+        assert 4 in plan.route
+        warm = m.conduits_of(plan.header)
+        version = graph.version
+        assert graph.patch(remove=[4])
+        assert graph.version == version + 1
+        # Stale route 1→…→4→…→6 must not survive: the line is now cut.
+        with pytest.raises(NoRouteError):
+            router.plan(1, 6)
+        # Announce a bridge over the gap; the replanned route avoids 4.
+        graph.patch(add_links=[(3, 5)])
+        replanned = router.plan(1, 6)
+        assert 4 not in replanned.route
+        assert m.conduits_of(plan.header) is not warm
+
     def test_membership_matches_sender_conduits(self):
         city = make_city("gridport", seed=0)
         router = BuildingRouter(city)

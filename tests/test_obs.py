@@ -1,0 +1,468 @@
+"""Tests for the observability layer: metrics, spans, manifests, and
+the bench comparator (plus their CLI surfaces)."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    DEFAULT_THRESHOLD_PCT,
+    REGISTRY,
+    MetricsRegistry,
+    RunManifest,
+    compare_files,
+    compare_records,
+    config_hash,
+    format_report,
+    get_registry,
+    metric_direction,
+    repo_git_sha,
+    set_trace_sink,
+    span,
+    summarize_trace,
+    trace_enabled,
+)
+
+
+class TestMetricsRegistry:
+    def test_counter_inc(self):
+        r = MetricsRegistry()
+        c = r.counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_gauge_set(self):
+        r = MetricsRegistry()
+        r.gauge("depth").set(17)
+        assert r.gauge("depth").value == 17.0
+
+    def test_timer_aggregates(self):
+        r = MetricsRegistry()
+        t = r.timer("work")
+        for d in (0.2, 0.1, 0.3):
+            t.observe(d)
+        assert t.count == 3
+        assert t.total_s == pytest.approx(0.6)
+        assert t.min_s == pytest.approx(0.1)
+        assert t.max_s == pytest.approx(0.3)
+        assert t.mean_s == pytest.approx(0.2)
+
+    def test_instruments_are_singletons(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.timer("t") is r.timer("t")
+        assert r.gauge("g") is r.gauge("g")
+
+    def test_snapshot_shape_and_sorting(self):
+        r = MetricsRegistry()
+        r.counter("z.count").inc(2)
+        r.counter("a.count").inc()
+        r.timer("b.time").observe(0.5)
+        snap = r.snapshot()
+        assert list(snap) == ["counters", "gauges", "timers"]
+        assert list(snap["counters"]) == ["a.count", "z.count"]
+        assert snap["counters"]["z.count"] == 2
+        assert snap["timers"]["b.time"]["count"] == 1
+
+    def test_snapshot_empty_timer_has_no_infinity(self):
+        r = MetricsRegistry()
+        r.timer("never")
+        row = r.snapshot()["timers"]["never"]
+        assert row["min_s"] == 0.0
+        assert row["mean_s"] == 0.0
+        json.dumps(r.snapshot())  # must be JSON-clean
+
+    def test_reset_preserves_identities(self):
+        r = MetricsRegistry()
+        c = r.counter("kept")
+        c.inc(9)
+        r.reset()
+        assert c.value == 0
+        assert r.counter("kept") is c
+        c.inc()
+        assert r.snapshot()["counters"]["kept"] == 1
+
+    def test_process_registry(self):
+        assert get_registry() is REGISTRY
+
+
+class TestSpans:
+    @pytest.fixture()
+    def sink(self):
+        buf = io.StringIO()
+        set_trace_sink(buf)
+        yield buf
+        set_trace_sink(None)
+
+    def events(self, buf):
+        return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+    def test_span_records_registry_timer(self):
+        before = REGISTRY.timer("span.obs-test-region").count
+        with span("obs-test-region"):
+            pass
+        assert REGISTRY.timer("span.obs-test-region").count == before + 1
+
+    def test_no_sink_emits_nothing(self):
+        assert not trace_enabled()
+        with span("quiet"):
+            pass  # must not raise, must not write anywhere
+
+    def test_nesting_parent_and_depth(self, sink):
+        assert trace_enabled()
+        with span("outer"):
+            with span("inner", epoch=3):
+                pass
+        inner, outer = self.events(sink)
+        # Completion order: inner closes first.
+        assert inner["name"] == "inner"
+        assert inner["parent"] == "outer"
+        assert inner["depth"] == 1
+        assert inner["epoch"] == 3
+        assert outer["name"] == "outer"
+        assert outer["parent"] is None
+        assert outer["depth"] == 0
+
+    def test_seq_is_total_order(self, sink):
+        for _ in range(3):
+            with span("tick"):
+                pass
+        assert [e["seq"] for e in self.events(sink)] == [0, 1, 2]
+
+    def test_durations_nonnegative_and_nested_le_outer(self, sink):
+        with span("outer"):
+            with span("inner"):
+                pass
+        inner, outer = self.events(sink)
+        assert 0.0 <= inner["dur_s"] <= outer["dur_s"]
+
+    def test_exception_still_emits(self, sink):
+        with pytest.raises(RuntimeError):
+            with span("doomed"):
+                raise RuntimeError("boom")
+        (event,) = self.events(sink)
+        assert event["name"] == "doomed"
+
+    def test_summarize_trace(self, sink):
+        with span("a"):
+            with span("b"):
+                pass
+        with span("b"):
+            pass
+        summary = summarize_trace(io.StringIO(sink.getvalue()))
+        assert summary["b"]["count"] == 2
+        assert summary["a"]["count"] == 1
+        assert summary["b"]["max_depth"] == 1
+        assert summary["a"]["mean_s"] == pytest.approx(
+            summary["a"]["total_s"]
+        )
+
+    def test_summarize_skips_malformed_lines(self):
+        lines = [
+            '{"name": "good", "dur_s": 0.5, "depth": 0}',
+            "this is not json",
+            '{"dur_s": 1.0}',  # no name
+            "",
+        ]
+        summary = summarize_trace(iter(lines))
+        assert list(summary) == ["good"]
+        assert summary["good"]["total_s"] == pytest.approx(0.5)
+
+
+class TestRunManifest:
+    def test_fields_present(self):
+        m = RunManifest.begin(config={"k": 1}, seed=7)
+        d = m.finish().to_dict()
+        assert set(d) == {
+            "git_sha", "config_hash", "seed", "started_utc", "wall_s",
+            "cpu_s", "peak_rss_kb", "python", "platform",
+        }
+        assert d["seed"] == 7
+        assert d["wall_s"] >= 0.0
+        assert d["cpu_s"] >= 0.0
+
+    def test_git_sha_found_in_this_repo(self):
+        sha = repo_git_sha()
+        assert sha is not None
+        assert len(sha) == 40
+
+    def test_finish_is_idempotent(self):
+        m = RunManifest.begin()
+        first = m.finish().wall_s
+        assert m.finish().wall_s == first
+
+    def test_to_dict_implies_finish(self):
+        assert RunManifest.begin().to_dict()["wall_s"] is not None
+
+    def test_config_hash_stable_and_distinct(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_config_hash_handles_non_json(self):
+        class Opaque:
+            def __repr__(self):
+                return "Opaque()"
+
+        assert config_hash(Opaque()) == config_hash(Opaque())
+
+
+BASE_RECORD = {
+    "bench": "flood_10k",
+    "timestamp": "2026-01-01T00:00:00Z",
+    "n_aps": 10_000,
+    "build_s": 1.00,
+    "events_per_s": 500_000.0,
+    "transmissions": 9_000,
+    "fastpath_speedup": 4.0,
+    "manifest": {"git_sha": "abc"},
+}
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("build_s", "lower"),
+            ("mean_epoch_s", "lower"),
+            ("transmissions", "lower"),
+            ("nodes_expanded", "lower"),
+            ("events_per_s", "higher"),
+            ("fastpath_speedup", "higher"),
+            ("delivery_rate", "higher"),
+            ("n_aps", None),
+            ("edges", None),
+        ],
+    )
+    def test_rules(self, name, expected):
+        assert metric_direction(name) == expected
+
+
+class TestCompareRecords:
+    def test_identical_records_pass(self):
+        report = compare_records(BASE_RECORD, dict(BASE_RECORD))
+        assert report.ok
+        assert report.regressions == ()
+        assert report.improvements == ()
+
+    def test_synthetic_20pct_slowdown_flagged(self):
+        """The acceptance pair: +20% duration trips the 10% default."""
+        current = dict(BASE_RECORD, build_s=1.20)
+        report = compare_records(BASE_RECORD, current)
+        assert report.threshold_pct == DEFAULT_THRESHOLD_PCT == 10.0
+        (reg,) = report.regressions
+        assert reg.name == "build_s"
+        assert reg.pct_change == pytest.approx(20.0)
+        assert not report.ok
+
+    def test_throughput_drop_is_a_regression(self):
+        current = dict(BASE_RECORD, events_per_s=300_000.0)
+        report = compare_records(BASE_RECORD, current)
+        assert [d.name for d in report.regressions] == ["events_per_s"]
+
+    def test_throughput_gain_is_an_improvement(self):
+        current = dict(BASE_RECORD, events_per_s=700_000.0)
+        report = compare_records(BASE_RECORD, current)
+        assert report.ok
+        assert [d.name for d in report.improvements] == ["events_per_s"]
+
+    def test_informational_metric_never_regresses(self):
+        current = dict(BASE_RECORD, n_aps=20_000)
+        report = compare_records(BASE_RECORD, current)
+        assert report.ok
+
+    def test_within_threshold_is_quiet(self):
+        current = dict(BASE_RECORD, build_s=1.05)
+        assert compare_records(BASE_RECORD, current).ok
+
+    def test_threshold_is_configurable(self):
+        current = dict(BASE_RECORD, build_s=1.05)
+        report = compare_records(BASE_RECORD, current, threshold_pct=3.0)
+        assert not report.ok
+
+    def test_missing_metric_fails(self):
+        current = dict(BASE_RECORD)
+        del current["build_s"]
+        report = compare_records(BASE_RECORD, current)
+        assert report.missing_in_current == ("build_s",)
+        assert not report.ok
+
+    def test_new_metric_is_ignored(self):
+        current = dict(BASE_RECORD, novel_count=5)
+        report = compare_records(BASE_RECORD, current)
+        assert report.new_in_current == ("novel_count",)
+        assert report.ok
+
+    def test_manifest_and_metadata_skipped(self):
+        current = dict(
+            BASE_RECORD,
+            manifest={"git_sha": "totally different"},
+            timestamp="2027-01-01T00:00:00Z",
+        )
+        assert compare_records(BASE_RECORD, current).ok
+
+    def test_zero_baseline(self):
+        base = dict(BASE_RECORD, transmissions=0)
+        same = compare_records(base, dict(base))
+        assert same.ok
+        worse = compare_records(base, dict(base, transmissions=5))
+        assert not worse.ok
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_records(BASE_RECORD, BASE_RECORD, threshold_pct=-1)
+
+    def test_format_report_mentions_regressions(self):
+        report = compare_records(BASE_RECORD, dict(BASE_RECORD, build_s=2.0))
+        text = format_report(report)
+        assert "REGRESSED build_s" in text
+        assert "1 regression(s)" in text
+        clean = format_report(compare_records(BASE_RECORD, BASE_RECORD))
+        assert "verdict: OK" in clean
+
+
+class TestCompareFiles:
+    @pytest.fixture()
+    def records(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(BASE_RECORD))
+        cur.write_text(json.dumps(dict(BASE_RECORD, build_s=1.5)))
+        return str(base), str(cur)
+
+    def test_regression_exits_1(self, records, capsys):
+        assert compare_files(*records) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_warn_only_exits_0(self, records, capsys):
+        assert compare_files(*records, warn_only=True) == 0
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_identical_exits_0(self, records, capsys):
+        base, _ = records
+        assert compare_files(base, base) == 0
+        assert "verdict: OK" in capsys.readouterr().out
+
+
+class TestObsCli:
+    def test_obs_show_registry_snapshot(self, capsys):
+        REGISTRY.counter("cli.probe").inc()
+        assert main(["obs", "show"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["counters"]["cli.probe"] >= 1
+
+    def test_obs_show_trace_table(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(
+            '{"seq":0,"name":"x","parent":null,"depth":0,'
+            '"start_s":0.0,"dur_s":0.25}\n'
+        )
+        assert main(["obs", "show", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "x" in out
+        assert "count" in out
+
+    def test_obs_show_trace_json(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(
+            '{"seq":0,"name":"x","parent":null,"depth":0,'
+            '"start_s":0.0,"dur_s":0.25}\n'
+        )
+        assert main(["obs", "show", str(trace), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["x"]["count"] == 1
+
+    def test_bench_compare_cli(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(BASE_RECORD))
+        cur.write_text(json.dumps(dict(BASE_RECORD, build_s=1.5)))
+        assert main(["bench", "compare", str(base), str(cur)]) == 1
+        assert (
+            main(["bench", "compare", str(base), str(cur), "--warn-only"])
+            == 0
+        )
+        assert main(["bench", "compare", str(base), str(base)]) == 0
+
+    def test_bench_compare_threshold_flag(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(BASE_RECORD))
+        cur.write_text(json.dumps(dict(BASE_RECORD, build_s=1.5)))
+        assert (
+            main(
+                ["bench", "compare", str(base), str(cur), "--threshold", "60"]
+            )
+            == 0
+        )
+
+    def test_bench_compare_threshold_env(self, tmp_path, monkeypatch):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(BASE_RECORD))
+        cur.write_text(json.dumps(dict(BASE_RECORD, build_s=1.5)))
+        monkeypatch.setenv("BENCH_COMPARE_THRESHOLD", "60")
+        assert main(["bench", "compare", str(base), str(cur)]) == 0
+
+    def test_trace_flag_writes_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert (
+            main(
+                ["scenario", "run", "rolling-blackout", "--trace", str(trace)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        events = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert events, "trace file must contain span events"
+        names = {e["name"] for e in events}
+        assert "scenario.run" in names
+        assert "scenario.epoch" in names
+
+
+class TestInstrumentationWiring:
+    """The subsystems actually feed the process registry."""
+
+    def test_buildgraph_metrics(self):
+        from repro.buildgraph import BuildingGraph
+        from repro.city import make_city
+
+        city = make_city("gridport", seed=0)
+        ids = [b.id for b in city.buildings]
+        REGISTRY.reset()
+        g = BuildingGraph(city)
+        g.plan(ids[0], ids[-1])
+        snap = REGISTRY.snapshot()
+        assert snap["counters"]["buildgraph.builds"] == 1
+        assert snap["counters"]["buildgraph.plan_calls"] == 1
+        assert snap["timers"]["buildgraph.build_s"]["count"] == 1
+
+    def test_broadcast_metrics(self):
+        import random
+
+        from repro.experiments import build_world, sample_building_pairs
+        from repro.experiments.common import attempt_delivery
+
+        world = build_world("gridport", seed=0)
+        pair = sample_building_pairs(world, 1, random.Random(0))[0]
+        REGISTRY.reset()
+        attempt_delivery(world, pair[0], pair[1], random.Random(1))
+        snap = REGISTRY.snapshot()
+        assert snap["counters"]["sim.broadcasts"] >= 1
+        assert snap["counters"]["sim.events_processed"] > 0
+
+    def test_scenario_result_embeds_manifest(self):
+        from repro.scenario import ScenarioResult, make_scenario, run_scenario
+
+        result = run_scenario(make_scenario("rolling-blackout"))
+        assert result.manifest is not None
+        assert result.manifest["seed"] is not None
+        assert result.manifest["wall_s"] >= 0.0
+        parsed = json.loads(result.to_json())
+        assert "manifest" in parsed
+        assert "manifest" not in json.loads(result.to_json(manifest=False))
+        assert ScenarioResult.from_dict(parsed).manifest == result.manifest

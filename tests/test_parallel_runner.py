@@ -6,6 +6,7 @@ import pytest
 
 from repro.experiments import (
     DeliveryTrial,
+    TrialError,
     TrialRunner,
     WorldSpec,
     build_world,
@@ -17,6 +18,13 @@ from repro.experiments import (
     seed_for,
 )
 from repro.experiments.scaling import control_load
+
+
+def _explode_on_negatives(x):
+    """Module-level so it pickles into worker processes."""
+    if x < 0:
+        raise ValueError(f"boom on {x}")
+    return x * 2
 
 
 @pytest.fixture(scope="module")
@@ -119,6 +127,57 @@ class TestGenericMap:
         assert s["last_run_s"] > 0
         assert s["trials_per_s"] > 0
         assert s["workers"] == 1
+
+
+class TestCrashingTrials:
+    """A trial that raises must surface as TrialError with the failing
+    index and the traceback from the process that ran it — not vanish
+    into a bare Pool.map re-raise."""
+
+    ITEMS = [0, 1, -7, 3, -9, 5]
+
+    def test_serial_crash_carries_index_and_traceback(self):
+        with TrialRunner(workers=1) as runner:
+            with pytest.raises(TrialError) as excinfo:
+                runner.map(_explode_on_negatives, self.ITEMS)
+        err = excinfo.value
+        assert err.trial_index == 2
+        assert "ValueError" in err.error
+        assert "boom on -7" in err.error
+        assert "_explode_on_negatives" in err.worker_traceback
+        assert "trial 2" in str(err)
+
+    def test_serial_crash_chains_original_exception(self):
+        with TrialRunner(workers=1) as runner:
+            with pytest.raises(TrialError) as excinfo:
+                runner.map(_explode_on_negatives, [-1])
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_parallel_crash_carries_index_and_traceback(self):
+        with TrialRunner(workers=2, chunk_size=2) as runner:
+            with pytest.raises(TrialError) as excinfo:
+                runner.map(_explode_on_negatives, self.ITEMS)
+        err = excinfo.value
+        # First failure in submission order, even with two crashers
+        # spread across chunks run by different workers.
+        assert err.trial_index == 2
+        assert "ValueError" in err.error
+        assert "boom on -7" in err.error
+        assert "_explode_on_negatives" in err.worker_traceback
+
+    def test_parallel_index_is_absolute_not_chunk_relative(self):
+        # One crasher in the last chunk: its index must be the position
+        # in the submitted batch, not its offset inside the chunk.
+        items = [1, 2, 3, 4, 5, -6]
+        with TrialRunner(workers=2, chunk_size=2) as runner:
+            with pytest.raises(TrialError) as excinfo:
+                runner.map(_explode_on_negatives, items)
+        assert excinfo.value.trial_index == 5
+
+    def test_healthy_trials_unaffected(self):
+        with TrialRunner(workers=2, chunk_size=2) as runner:
+            results = runner.map(_explode_on_negatives, [1, 2, 3, 4])
+        assert results == [2, 4, 6, 8]
 
 
 class TestExperimentIntegration:

@@ -141,6 +141,57 @@ class TestPostbox:
         assert len(box.pushed) == 1
 
 
+class TestPushConfirmation:
+    """Push-vs-retrieve semantics: exactly once on the success path,
+    at least once always (the double-delivery regression)."""
+
+    def make_box(self):
+        box = Postbox(owner_name="bob")
+        box.check(now_s=0.0, location=Point(5, 5))  # cache a location
+        return box
+
+    def test_confirmed_push_not_delivered_again_at_check(self):
+        box = self.make_box()
+        box.deliver(b"urgent!", now_s=1.0, urgent=True)
+        (push,) = box.take_pushes()
+        assert box.confirm_push(push)
+        # Regression: the owner used to get a second copy here.
+        assert box.check(now_s=2.0, location=Point(5, 5)) == []
+
+    def test_failed_push_keeps_stored_copy(self):
+        box = self.make_box()
+        box.deliver(b"urgent!", now_s=1.0, urgent=True)
+        box.take_pushes()  # push attempted but never confirmed
+        got = box.check(now_s=2.0, location=Point(5, 5))
+        assert [m.sealed for m in got] == [b"urgent!"]
+
+    def test_take_pushes_drains_records_only(self):
+        box = self.make_box()
+        box.deliver(b"urgent!", now_s=1.0, urgent=True)
+        assert len(box.take_pushes()) == 1
+        assert box.pushed == []
+        assert box.pending_count() == 1  # stored copy is the safety net
+
+    def test_confirm_push_is_identity_based(self):
+        """Duplicate sealed bytes are distinct messages: confirming one
+        push must not swallow the other copy."""
+        box = self.make_box()
+        box.deliver(b"same", now_s=1.0, urgent=True)
+        box.deliver(b"same", now_s=1.5, urgent=True)
+        first, second = box.take_pushes()
+        assert box.confirm_push(first)
+        got = box.check(now_s=2.0, location=Point(5, 5))
+        assert len(got) == 1
+        assert got[0] is second
+
+    def test_confirm_after_retrieval_is_false(self):
+        box = self.make_box()
+        box.deliver(b"urgent!", now_s=1.0, urgent=True)
+        (push,) = box.take_pushes()
+        box.check(now_s=2.0, location=Point(5, 5))  # owner already has it
+        assert not box.confirm_push(push)
+
+
 class TestMessagingService:
     @pytest.fixture(scope="class")
     def service_world(self):
@@ -241,3 +292,37 @@ class TestPushDelivery:
         reports = service.deliver_pushes(bob)
         assert reports and reports[0].delivered
         assert reports[0].transmissions == 0
+
+    def test_delivered_push_not_handed_out_twice(self, service_world):
+        """The double-delivery regression end to end: a successfully
+        pushed message must not come back at the next check."""
+        city, graph, service = service_world
+        ids = [b.id for b in city.buildings if graph.aps_in_building(b.id)]
+        rng = random.Random(24)
+        alice = Participant.create(ids[1], rng)
+        bob = Participant.create(ids[-1], rng)
+        away = city.building(ids[len(ids) // 2]).centroid()
+        bob.postbox.check(now_s=0.0, location=away)
+        service.send(alice, bob.address, bob.postbox, b"urgent!", urgent=True)
+        reports = service.deliver_pushes(bob)
+        assert reports and reports[0].delivered
+        # The push reached Bob, so his next retrieval must be empty.
+        assert MessagingService.retrieve(bob, now_s=10.0, location=away) == []
+
+    def test_failed_push_message_still_retrievable(self, service_world):
+        """A push the mesh cannot carry leaves the stored copy intact
+        (at-least-once delivery)."""
+        city, graph, service = service_world
+        ids = [b.id for b in city.buildings if graph.aps_in_building(b.id)]
+        rng = random.Random(25)
+        alice = Participant.create(ids[1], rng)
+        bob = Participant.create(ids[-1], rng)
+        away = city.building(ids[len(ids) // 2]).centroid()
+        bob.postbox.check(now_s=0.0, location=away)
+        service.send(alice, bob.address, bob.postbox, b"urgent!", urgent=True)
+        # Simulate the forwarder failing: drain the push records
+        # without the unicast ever confirming delivery.
+        assert len(bob.postbox.take_pushes()) == 1
+        assert service.deliver_pushes(bob) == []
+        messages = MessagingService.retrieve(bob, now_s=10.0, location=away)
+        assert [m.plaintext for m in messages] == [b"urgent!"]

@@ -125,7 +125,10 @@ class TestDriver:
         )
         r1 = run_scenario(spec)
         r2 = run_scenario(spec)
-        assert r1.to_json() == r2.to_json()
+        # The manifest block (wall time, RSS) is the one intentionally
+        # non-deterministic part; everything else is byte-identical.
+        assert r1.to_json(manifest=False) == r2.to_json(manifest=False)
+        assert r1.manifest is not None and r2.manifest is not None
         alive = [e.alive_aps for e in r1.epochs]
         assert alive[1] < alive[0]  # churn window knocks ~20% out
         assert alive[2] > alive[1]  # and they recover afterwards
@@ -215,7 +218,7 @@ class TestWorkerInvariance:
         spec = make_scenario("river-flood", seed=0)
         serial = run_scenario(spec, workers=1)
         parallel = run_scenario(spec, workers=4)
-        assert serial.to_json() == parallel.to_json()
+        assert serial.to_json(manifest=False) == parallel.to_json(manifest=False)
 
 
 class TestLibrary:
