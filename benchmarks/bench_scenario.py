@@ -8,11 +8,17 @@ when set) carries the epochs/sec throughput plus the run's structural
 outcomes, so CI trends catch both performance and behaviour drift.
 
 The driver is timed on its own — the world build is excluded, exactly
-as it amortises over a real sweep.
+as it amortises over a real sweep.  Throughput is reported from
+per-epoch wall-time percentiles (``epoch_p50_s`` / ``epoch_p95_s``,
+with ``epochs_per_s = 1 / p50``) rather than the aggregate mean, so a
+slow mutation epoch (bridge deploy rebuilds the AP graph) doesn't mask
+steady-state throughput; the aggregate ``run_s`` is still recorded.
+``$SCENARIO_BENCH_EPOCHS`` overrides the epoch count (CI smoke runs 3).
 """
 
 import json
 import os
+import statistics
 import time
 
 import pytest
@@ -24,7 +30,7 @@ from repro.obs import RunManifest
 from repro.scenario import Damage, DeployBridges, ScenarioDriver, ScenarioSpec
 
 BLOCKS = 16  # 16x16 blocks, pitch 104 m -> extent ~1650 m, ~7k APs
-EPOCHS = 5
+EPOCHS = int(os.environ.get("SCENARIO_BENCH_EPOCHS", "5"))
 FLOWS = 16
 # Drown the two middle block rows (y in [728, 922] plus margins): the
 # remaining halves are >200 m apart, far beyond the 50 m radio range.
@@ -78,17 +84,27 @@ def test_bench_scenario_epoch_throughput(big_world, perf_record):
         t0 = time.perf_counter()
         result = driver.run()
         run_s = time.perf_counter() - t0
+        epoch_walls = list(driver.epoch_wall_s)
 
     # Structural sanity: the timeline actually exercised the engine.
     assert result.max_islands > 1
     assert result.total_deployed_aps > 0
     assert result.epochs[1].mutated and result.epochs[2].mutated
+    assert len(epoch_walls) == EPOCHS
+
+    # Percentiles over per-epoch walls: p50 is the steady-state epoch;
+    # p95 captures the worst mutation epoch (damage/bridge rebuilds).
+    walls = sorted(epoch_walls)
+    epoch_p50_s = statistics.median(walls)
+    epoch_p95_s = walls[min(len(walls) - 1, max(0, -(-95 * len(walls) // 100) - 1))]
 
     perf_record["n_aps"] = n_aps
     perf_record["epochs"] = EPOCHS
     perf_record["flows_per_epoch"] = FLOWS
     perf_record["run_s"] = run_s
-    perf_record["epochs_per_s"] = EPOCHS / run_s
+    perf_record["epoch_p50_s"] = epoch_p50_s
+    perf_record["epoch_p95_s"] = epoch_p95_s
+    perf_record["epochs_per_s"] = 1.0 / epoch_p50_s
     perf_record["total_replans"] = result.total_replans
     perf_record["max_islands"] = result.max_islands
     perf_record["deployed_aps"] = result.total_deployed_aps

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import os
 import random
 import time
 import traceback
@@ -41,6 +42,8 @@ _M_RUNS = REGISTRY.counter("trial_runner.runs")
 _M_TRIALS = REGISTRY.counter("trial_runner.trials")
 _M_RUN_S = REGISTRY.timer("trial_runner.run_s")
 _M_TRIAL_S = REGISTRY.timer("trial_runner.trial_s")
+_M_WORLD_HITS = REGISTRY.counter("trial_runner.world_cache_hits")
+_M_WORLD_MISSES = REGISTRY.counter("trial_runner.world_cache_misses")
 
 
 def seed_for(base_seed: int, trial_index: int, stream: str = "") -> int:
@@ -134,29 +137,41 @@ def delivery_trial(
 # ----------------------------------------------------------------------
 _WORKER_WORLDS: dict[WorldSpec, World] = {}
 
+#: Cumulative world-cache traffic in *this* process.  Workers carry
+#: their own copy (module state does not cross the fork/spawn boundary
+#: after divergence); ``_run_chunk`` snapshots it back to the parent,
+#: which diffs per-pid snapshots into :meth:`TrialRunner.stats`.
+_WORKER_CACHE_COUNTS = {"hits": 0, "misses": 0}
+
 
 def _worker_init(spec: WorldSpec | None) -> None:
     """Pool initializer: prime this worker's world cache once."""
     if spec is not None and spec not in _WORKER_WORLDS:
+        _WORKER_CACHE_COUNTS["misses"] += 1
         _WORKER_WORLDS[spec] = spec.build()
 
 
 def _worker_world(spec: WorldSpec) -> World:
     world = _WORKER_WORLDS.get(spec)
     if world is None:
+        _WORKER_CACHE_COUNTS["misses"] += 1
         world = spec.build()
         _WORKER_WORLDS[spec] = world
+    else:
+        _WORKER_CACHE_COUNTS["hits"] += 1
     return world
 
 
 def _run_chunk(
     payload: tuple[Callable[..., Any], WorldSpec | None, int, list[Any]]
-) -> tuple[list[Any], list[float]]:
+) -> tuple[list[Any], list[float], tuple[int, int, int]]:
     """Run one chunk of trials against this worker's cached world.
 
-    Returns the chunk's results *and* per-trial wall timings (merged by
+    Returns the chunk's results, per-trial wall timings (merged by
     the parent in submission order, so the merged timing stream is
-    deterministic whatever worker ran the chunk).  A trial that raises
+    deterministic whatever worker ran the chunk), and a cumulative
+    ``(pid, cache_hits, cache_misses)`` snapshot of this worker's world
+    cache for the parent's stats merge.  A trial that raises
     becomes an in-band :class:`_TrialFailure` carrying the worker's
     traceback and the trial's absolute index (``base`` + offset); the
     rest of the chunk still runs, and the parent raises on the first
@@ -178,7 +193,12 @@ def _run_chunk(
             )
         timings.append(time.perf_counter() - t0)
         results.append(result)
-    return results, timings
+    snapshot = (
+        os.getpid(),
+        _WORKER_CACHE_COUNTS["hits"],
+        _WORKER_CACHE_COUNTS["misses"],
+    )
+    return results, timings, snapshot
 
 
 class TrialRunner:
@@ -207,6 +227,11 @@ class TrialRunner:
         self._start_method = start_method
         self._pool = None
         self._local_worlds: dict[WorldSpec, World] = {}
+        # Per-process world-build ledger: pid -> builds.  Worker pids
+        # come from chunk snapshots; the serial path books under the
+        # parent's own pid.
+        self._worker_builds: dict[int, int] = {}
+        self._worker_cache_seen: dict[int, tuple[int, int]] = {}
         self._stats: dict[str, float] = {
             "runs": 0,
             "trials": 0,
@@ -217,7 +242,20 @@ class TrialRunner:
             "last_run_s": 0.0,
             "last_trials": 0,
             "last_trials_per_s": 0.0,
+            "world_cache_hits": 0,
+            "world_cache_misses": 0,
         }
+
+    def _note_world_cache(self, pid: int, hits: int, misses: int) -> None:
+        """Book world-cache traffic (and builds, == misses) for one pid."""
+        if not hits and not misses:
+            return
+        self._stats["world_cache_hits"] += hits
+        self._stats["world_cache_misses"] += misses
+        if misses:
+            self._worker_builds[pid] = self._worker_builds.get(pid, 0) + misses
+        _M_WORLD_HITS.inc(hits)
+        _M_WORLD_MISSES.inc(misses)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -301,8 +339,11 @@ class TrialRunner:
         if spec is not None and world is None:
             world = self._local_worlds.get(spec)
             if world is None:
+                self._note_world_cache(os.getpid(), hits=0, misses=1)
                 world = spec.build()
                 self._local_worlds[spec] = world
+            else:
+                self._note_world_cache(os.getpid(), hits=1, misses=0)
         results: list[Any] = []
         for index, item in enumerate(items):
             t0 = time.perf_counter()
@@ -346,10 +387,21 @@ class TrialRunner:
         chunked = pool.map(_run_chunk, payloads, chunksize=1)
         results: list[Any] = []
         failure: _TrialFailure | None = None
-        for chunk_results, chunk_timings in chunked:
+        # Snapshots are cumulative per worker; keep the max seen per pid
+        # this run, then diff against the last run's high-water mark.
+        snapshots: dict[int, tuple[int, int]] = {}
+        for chunk_results, chunk_timings, (pid, hits, misses) in chunked:
             results.extend(chunk_results)
             for dt in chunk_timings:
                 _M_TRIAL_S.observe(dt)
+            prev = snapshots.get(pid, (0, 0))
+            snapshots[pid] = (max(prev[0], hits), max(prev[1], misses))
+        for pid, (hits, misses) in snapshots.items():
+            seen_h, seen_m = self._worker_cache_seen.get(pid, (0, 0))
+            self._note_world_cache(
+                pid, hits=max(0, hits - seen_h), misses=max(0, misses - seen_m)
+            )
+            self._worker_cache_seen[pid] = (max(seen_h, hits), max(seen_m, misses))
         for result in results:
             if isinstance(result, _TrialFailure):
                 failure = result
@@ -380,10 +432,25 @@ class TrialRunner:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, float]:
-        """Timing/throughput counters (cumulative plus last-run)."""
+        """Timing/throughput counters (cumulative plus last-run).
+
+        World-cache fields quantify the persistent per-worker cache:
+        ``world_cache_hits`` / ``world_cache_misses`` are cache lookups
+        across the parent and every worker (a miss builds a world, so
+        ``world_builds == world_cache_misses``), ``workers_built`` is
+        how many distinct processes built at least one world, and
+        ``world_builds_max_per_worker`` bounds any single process's
+        build bill — the healthy steady state is one build per worker
+        per distinct :class:`WorldSpec`.
+        """
         s = dict(self._stats)
         s["workers"] = self.workers
         s["trials_per_s"] = (
             s["trials"] / s["total_s"] if s["total_s"] > 0 else 0.0
+        )
+        s["world_builds"] = s["world_cache_misses"]
+        s["workers_built"] = len(self._worker_builds)
+        s["world_builds_max_per_worker"] = (
+            max(self._worker_builds.values()) if self._worker_builds else 0
         )
         return s

@@ -1,0 +1,381 @@
+"""Columnar (structure-of-arrays) geometry kernels.
+
+The conduit-membership predicate — does a building footprint overlap a
+conduit rectangle? — is the hottest geometric test in the system: every
+broadcast evaluates it once per building on the packet's route region.
+The scalar path (:meth:`repro.geometry.ConduitRect.intersects_polygon`)
+walks Python ``Point`` objects edge by edge; this module evaluates the
+*same* predicate over every footprint of a city at once from flat numpy
+arrays.
+
+Equivalence contract
+--------------------
+
+:func:`path_overlap_mask` is **bit-for-bit identical** to calling
+``path.intersects_polygon(polygon)`` per polygon.  That holds because
+
+- every per-rectangle scalar (corners, ``denom``, ``denom ** 0.5``) is
+  computed by the *scalar* code path and broadcast into the arrays, so
+  ``math.hypot``/``x ** 0.5`` rounding is shared, not re-derived;
+- the remaining vector arithmetic (``+ - * /``, ``abs``, comparisons,
+  ``np.sqrt`` vs ``** 0.5``, ``np.hypot`` vs ``math.hypot``) is IEEE-754
+  double precision with identical expression shapes, so each lane
+  reproduces the scalar result exactly;
+- the bounding-box prefilter is conservative: it keeps every polygon
+  whose bbox comes within ``_BBOX_MARGIN`` of the rectangle's bbox,
+  a superset of anything the exact clauses (which use 1e-9/1e-12
+  boundary slop) can accept;
+- degenerate (zero-length) conduit rectangles fall back to the scalar
+  predicate outright.
+
+``tests/test_columnar_geometry.py`` holds the property suite pinning
+this contract down, including collinear/touching adversarial cases.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .conduit import ConduitPath, ConduitRect
+    from .polygon import Polygon
+
+# Slop added around the rectangle bbox during prefiltering.  The exact
+# clauses accept points up to 1e-9 (polygon boundary test) or 1e-12
+# (collinear on-segment test) outside the true shapes; 1e-6 dominates
+# both with room to spare and costs nothing.
+_BBOX_MARGIN = 1e-6
+
+
+class PolygonColumns:
+    """Flat arrays over a fixed sequence of polygons.
+
+    Vertices are concatenated into ``vx``/``vy`` with CSR-style
+    ``offsets`` (``offsets[i]:offsets[i+1]`` is polygon ``i``'s ring),
+    plus per-polygon bounding boxes.  Edge arrays pair each vertex with
+    its ring successor, so edge ``j`` of the concatenated arrays is a
+    real polygon edge (rings wrap within their own slice).
+    """
+
+    __slots__ = (
+        "count",
+        "offsets",
+        "vx",
+        "vy",
+        "ex",
+        "ey",
+        "min_x",
+        "min_y",
+        "max_x",
+        "max_y",
+        "owner",
+    )
+
+    def __init__(self, polygons: Sequence["Polygon"]):
+        self.count = len(polygons)
+        counts = np.fromiter(
+            (len(p.vertices) for p in polygons), dtype=np.int64, count=self.count
+        )
+        self.offsets = np.zeros(self.count + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.offsets[1:])
+        total = int(self.offsets[-1])
+        vx = np.empty(total, dtype=np.float64)
+        vy = np.empty(total, dtype=np.float64)
+        pos = 0
+        for p in polygons:
+            for v in p.vertices:
+                vx[pos] = v.x
+                vy[pos] = v.y
+                pos += 1
+        self.vx = vx
+        self.vy = vy
+        # Ring successor of each vertex (wrapping within each polygon):
+        # shift left by one, then pull each ring's first vertex back to
+        # close it.
+        nxt = np.arange(1, total + 1, dtype=np.int64)
+        if self.count:
+            nxt[self.offsets[1:] - 1] = self.offsets[:-1]
+        self.ex = vx[nxt]
+        self.ey = vy[nxt]
+        bboxes = np.fromiter(
+            (c for p in polygons for c in p.bbox),
+            dtype=np.float64,
+            count=4 * self.count,
+        ).reshape(self.count, 4)
+        self.min_x = bboxes[:, 0]
+        self.min_y = bboxes[:, 1]
+        self.max_x = bboxes[:, 2]
+        self.max_y = bboxes[:, 3]
+        #: id of each vertex's owning polygon, aligned with ``vx``.
+        self.owner = np.repeat(np.arange(self.count, dtype=np.int64), counts)
+
+    def __len__(self) -> int:
+        return self.count
+
+
+def _rect_bbox(corners) -> tuple[float, float, float, float]:
+    xs = [c.x for c in corners]
+    ys = [c.y for c in corners]
+    return min(xs), min(ys), max(xs), max(ys)
+
+
+def _contains_lanes(
+    rect: "ConduitRect", px: np.ndarray, py: np.ndarray
+) -> np.ndarray:
+    """Vectorized ``rect.contains(Point(px, py))`` for a non-degenerate rect.
+
+    Mirrors the scalar arithmetic exactly: per-rect scalars (``denom``
+    and its square root) come from the same Python expressions the
+    scalar path evaluates.
+    """
+    dx = rect.end.x - rect.start.x
+    dy = rect.end.y - rect.start.y
+    denom = dx * dx + dy * dy
+    half_w = rect.width / 2.0
+    root = denom**0.5
+    vx = px - rect.start.x
+    vy = py - rect.start.y
+    t = (vx * dx + vy * dy) / denom
+    lateral = np.abs(vx * dy - vy * dx) / root
+    return (t >= 0.0) & (t <= 1.0) & (lateral <= half_w)
+
+
+def _point_in_polygon_lanes(
+    cols: PolygonColumns, rows: np.ndarray, cx: float, cy: float
+) -> np.ndarray:
+    """``polygon.contains(Point(cx, cy))`` for each polygon row in ``rows``.
+
+    Replicates the scalar test clause by clause: bbox gate, boundary
+    proximity (distance to any edge < 1e-9), then even-odd ray casting.
+    Returns a bool array aligned with ``rows``.
+    """
+    inside_bbox = (
+        (cols.min_x[rows] <= cx)
+        & (cx <= cols.max_x[rows])
+        & (cols.min_y[rows] <= cy)
+        & (cy <= cols.max_y[rows])
+    )
+    result = np.zeros(len(rows), dtype=bool)
+    if not inside_bbox.any():
+        return result
+    active = rows[inside_bbox]
+    # Edge lanes for the active polygons.
+    starts = cols.offsets[active]
+    ends = cols.offsets[active + 1]
+    lane_counts = ends - starts
+    lane_rows = np.repeat(np.arange(len(active)), lane_counts)
+    lanes = _ranges(starts, lane_counts)
+    ax, ay = cols.vx[lanes], cols.vy[lanes]
+    bx, by = cols.ex[lanes], cols.ey[lanes]
+
+    # Boundary clause: Segment(a, b).distance_to_point(p) < 1e-9.
+    # project_param -> clamp -> lerp -> hypot, with the scalar guard for
+    # degenerate edges (denom == 0 -> t = 0).
+    dx = bx - ax
+    dy = by - ay
+    denom = dx * dx + dy * dy
+    safe = np.where(denom == 0.0, 1.0, denom)
+    t = ((cx - ax) * dx + (cy - ay) * dy) / safe
+    t = np.where(denom == 0.0, 0.0, t)
+    t = np.minimum(1.0, np.maximum(0.0, t))
+    qx = ax + (bx - ax) * t
+    qy = ay + (by - ay) * t
+    on_boundary = np.hypot(qx - cx, qy - cy) < 1e-9
+    # Ray-cast clause: (ay > cy) != (by > cy), cx < x_cross.  The scalar
+    # loop pairs vertex i with its *predecessor* j; over the whole ring
+    # that is the same edge set as (vertex, successor), and the
+    # crossing expression is symmetric in which endpoint is "vi": it
+    # divides by (vi.y - vj.y) with vi as the endpoint tested first.
+    # Match it exactly: scalar vi = verts[i], vj = predecessor; our
+    # (a, b) pair has b = successor(a), so vi = b, vj = a.
+    toggles = (by > cy) != (ay > cy)
+    denom_y = np.where(toggles, by - ay, 1.0)
+    x_cross = ax + (cy - ay) * (bx - ax) / denom_y
+    crossing = toggles & (cx < x_cross)
+
+    boundary_hit = np.bincount(
+        lane_rows[on_boundary], minlength=len(active)
+    ).astype(bool)
+    cross_count = np.bincount(lane_rows[crossing], minlength=len(active))
+    result[inside_bbox] = boundary_hit | ((cross_count % 2) == 1)
+    return result
+
+
+def _ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(starts[i], starts[i]+counts[i])`` lanes."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Standard CSR trick: cumulative offsets minus repeated starts.
+    reps = np.repeat(np.arange(len(starts)), counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+    )
+    return starts[reps] + within
+
+
+def _segments_intersect_lanes(
+    p1x, p1y, p2x, p2y, q1x, q1y, q2x, q2y
+) -> np.ndarray:
+    """Vectorized ``Segment(p1, p2).intersects(Segment(q1, q2))``.
+
+    Lane-for-lane replica of the scalar orientation/collinearity test,
+    including the 1e-12 bbox slop of ``_on_segment``.
+    """
+
+    def orient(ax, ay, bx, by, cx, cy):
+        return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+
+    def on_segment(ax, ay, bx, by, px, py):
+        return (
+            (np.minimum(ax, bx) - 1e-12 <= px)
+            & (px <= np.maximum(ax, bx) + 1e-12)
+            & (np.minimum(ay, by) - 1e-12 <= py)
+            & (py <= np.maximum(ay, by) + 1e-12)
+        )
+
+    # Scalar: self = poly edge (p), other = rect edge (q);
+    # d1 = orient(other.a, other.b, self.a) etc.
+    d1 = orient(q1x, q1y, q2x, q2y, p1x, p1y)
+    d2 = orient(q1x, q1y, q2x, q2y, p2x, p2y)
+    d3 = orient(p1x, p1y, p2x, p2y, q1x, q1y)
+    d4 = orient(p1x, p1y, p2x, p2y, q2x, q2y)
+    proper = (
+        ((d1 > 0) != (d2 > 0))
+        & ((d3 > 0) != (d4 > 0))
+        & (d1 != 0)
+        & (d2 != 0)
+        & (d3 != 0)
+        & (d4 != 0)
+    )
+    touch = (
+        ((d1 == 0) & on_segment(q1x, q1y, q2x, q2y, p1x, p1y))
+        | ((d2 == 0) & on_segment(q1x, q1y, q2x, q2y, p2x, p2y))
+        | ((d3 == 0) & on_segment(p1x, p1y, p2x, p2y, q1x, q1y))
+        | ((d4 == 0) & on_segment(p1x, p1y, p2x, p2y, q2x, q2y))
+    )
+    return proper | touch
+
+
+def rect_overlap_mask(
+    cols: PolygonColumns,
+    rect: "ConduitRect",
+    skip: np.ndarray | None = None,
+) -> np.ndarray:
+    """``rect.intersects_polygon(p)`` for every polygon, as a bool array.
+
+    ``skip`` (bool array) marks polygons whose verdict is already known
+    true; they are neither tested nor reported (callers OR masks across
+    rects, so skipping only saves work).
+    """
+    out = np.zeros(cols.count, dtype=bool)
+    if cols.count == 0:
+        return out
+    if (rect.end - rect.start).norm_sq() == 0.0:
+        # Degenerate disc conduits are rare (single-waypoint routes)
+        # and full of hypot-rounding subtleties; the scalar fallback in
+        # path_overlap_mask owns them.
+        raise ValueError("degenerate rect: use path_overlap_mask")
+    corners = rect.corners()
+    rminx, rminy, rmaxx, rmaxy = _rect_bbox(corners)
+    candidates = (
+        (cols.max_x >= rminx - _BBOX_MARGIN)
+        & (cols.min_x <= rmaxx + _BBOX_MARGIN)
+        & (cols.max_y >= rminy - _BBOX_MARGIN)
+        & (cols.min_y <= rmaxy + _BBOX_MARGIN)
+    )
+    if skip is not None:
+        candidates &= ~skip
+    rows = np.nonzero(candidates)[0]
+    if len(rows) == 0:
+        return out
+
+    # Clause A: any polygon vertex inside the rect.  This decides almost
+    # every true verdict (footprints genuinely inside the conduit), so
+    # clauses B and C only run on the rows it leaves undecided.
+    starts = cols.offsets[rows]
+    counts = cols.offsets[rows + 1] - starts
+    lane_rows = np.repeat(np.arange(len(rows)), counts)
+    lanes = _ranges(starts, counts)
+    vert_in = _contains_lanes(rect, cols.vx[lanes], cols.vy[lanes])
+    verdict = np.bincount(
+        lane_rows[vert_in], minlength=len(rows)
+    ).astype(bool)
+
+    undecided = ~verdict
+    if undecided.any():
+        sub_rows = rows[undecided]
+        # Clause B: any rect corner inside the polygon.
+        sub = np.zeros(len(sub_rows), dtype=bool)
+        for c in corners:
+            sub |= _point_in_polygon_lanes(cols, sub_rows, c.x, c.y)
+
+        # Clause C: any polygon edge crosses any rect edge.  The scalar
+        # loop tests poly_edge x rect_edge pairs; OR over pairs is
+        # order-independent, so one broadcast pass over all four rect
+        # edges at once (rect edges down axis 0, poly-edge lanes along
+        # axis 1) suffices.
+        still = ~sub
+        if still.any():
+            srows = sub_rows[still]
+            sstarts = cols.offsets[srows]
+            scounts = cols.offsets[srows + 1] - sstarts
+            slane_rows = np.repeat(np.arange(len(srows)), scounts)
+            slanes = _ranges(sstarts, scounts)
+            ax, ay = cols.vx[slanes], cols.vy[slanes]
+            bx, by = cols.ex[slanes], cols.ey[slanes]
+            col = lambda vals: np.asarray(vals, dtype=np.float64)[:, None]
+            q1x = col([c.x for c in corners])
+            q1y = col([c.y for c in corners])
+            q2x = col([corners[(i + 1) % 4].x for i in range(4)])
+            q2y = col([corners[(i + 1) % 4].y for i in range(4)])
+            hit = _segments_intersect_lanes(
+                ax, ay, bx, by, q1x, q1y, q2x, q2y
+            ).any(axis=0)
+            sub[still] |= np.bincount(
+                slane_rows[hit], minlength=len(srows)
+            ).astype(bool)
+        verdict[undecided] = sub
+
+    out[rows] = verdict
+    return out
+
+
+def path_overlap_mask(
+    cols: PolygonColumns,
+    path: "ConduitPath",
+    polygons: Sequence["Polygon"] | None = None,
+) -> np.ndarray:
+    """``path.intersects_polygon(p)`` for every polygon, as a bool array.
+
+    Degenerate rects (zero-length legs) are evaluated with the scalar
+    predicate over bbox-prefiltered candidates; everything else runs
+    columnar.  ``polygons`` must be supplied when the path contains a
+    degenerate rect (the scalar fallback needs the objects back).
+    """
+    out = np.zeros(cols.count, dtype=bool)
+    for rect in path.rects:
+        if (rect.end - rect.start).norm_sq() == 0.0:
+            # Scalar fallback for the degenerate disc case.
+            half = rect.width / 2.0 + _BBOX_MARGIN
+            candidates = (
+                (cols.max_x >= rect.start.x - half)
+                & (cols.min_x <= rect.start.x + half)
+                & (cols.max_y >= rect.start.y - half)
+                & (cols.min_y <= rect.start.y + half)
+                & ~out
+            )
+            rows = np.nonzero(candidates)[0]
+            if len(rows) and polygons is None:
+                raise ValueError(
+                    "degenerate conduit rect needs the polygon objects "
+                    "for the scalar fallback"
+                )
+            for r in rows:
+                if rect.intersects_polygon(polygons[int(r)]):
+                    out[r] = True
+            continue
+        out |= rect_overlap_mask(cols, rect, skip=out)
+    return out

@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..geometry import GridIndex, Point
 from .placement import AccessPoint
 
@@ -98,6 +100,48 @@ class APGraph:
         ``list[list[int]]`` with no method dispatch per transmission.
         """
         return self._adjacency
+
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """The adjacency as int32 CSR ``(indptr, indices)``, built once.
+
+        ``indices[indptr[i]:indptr[i+1]]`` are AP ``i``'s neighbours in
+        exactly the order of :meth:`neighbors` — columnar consumers
+        (the broadcast kernel, island BFS) rely on that order for
+        RNG-draw alignment.  The graph is immutable after construction,
+        so the arrays never go stale.
+        """
+        cached = getattr(self, "_csr", None)
+        if cached is None:
+            counts = np.fromiter(
+                (len(a) for a in self._adjacency),
+                dtype=np.int64,
+                count=len(self._adjacency),
+            )
+            indptr = np.zeros(len(self._adjacency) + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            indices = np.fromiter(
+                (v for a in self._adjacency for v in a),
+                dtype=np.int32,
+                count=int(indptr[-1]),
+            )
+            cached = (indptr, indices)
+            self._csr = cached
+        return cached
+
+    def position_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """AP positions as flat ``(x, y)`` float64 arrays, built once."""
+        cached = getattr(self, "_position_arrays", None)
+        if cached is None:
+            n = len(self.aps)
+            px = np.fromiter(
+                (ap.position.x for ap in self.aps), dtype=np.float64, count=n
+            )
+            py = np.fromiter(
+                (ap.position.y for ap in self.aps), dtype=np.float64, count=n
+            )
+            cached = (px, py)
+            self._position_arrays = cached
+        return cached
 
     def building_id_list(self) -> list[int]:
         """``building_id`` per AP as a flat list indexed by AP id."""

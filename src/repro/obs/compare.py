@@ -8,7 +8,8 @@ committed copies of those records).  Comparing two of them naively —
 work counters like ``nodes_expanded``).  This module encodes that
 schema as name rules so the verdict is per-metric directional:
 
-- **lower-is-better**: names ending in ``_s`` (durations) and known
+- **lower-is-better**: names ending in ``_s`` (durations — including
+  percentile walls like ``epoch_p50_s`` / ``epoch_p95_s``) and known
   work counters (``nodes_expanded``, ``*_checked``, ``transmissions``…);
 - **higher-is-better**: throughputs (``*_per_s``), ``*speedup*``,
   ``*scaling*``, ``*delivery_rate*``;

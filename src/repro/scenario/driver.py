@@ -29,9 +29,9 @@ worker count.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 
-from ..buildgraph import NoRouteError
 from ..core import RoutePlan, conduits_for_waypoints
 from ..experiments import (
     TrialRunner,
@@ -50,7 +50,12 @@ from ..mesh import (
     plan_bridge,
 )
 from ..obs import REGISTRY, RunManifest, span
-from ..sim import ConduitPolicy, simulate_broadcast
+from ..sim import (
+    ConduitPolicy,
+    FlowSpec,
+    simulate_broadcast,
+    simulate_broadcast_batch,
+)
 from .events import APChurn, Damage, DeployBridges, GridOutage, PowerRestored
 from .model import EpochReport, ScenarioResult, ScenarioSpec
 
@@ -134,6 +139,50 @@ def scenario_flow_trial(
     return result.delivered, result.transmissions
 
 
+@dataclass(frozen=True)
+class ScenarioEpochBatch:
+    """All of one epoch's flow trials, frozen as a single work item.
+
+    Every trial of an epoch shares the dead set and deployed tuple, so
+    shipping them together lets the executor freeze the world (CSR
+    adjacency, dead mask, conduit verdict bitmaps) exactly once per
+    epoch instead of once per flow.
+    """
+
+    trials: tuple[ScenarioFlowTrial, ...]
+
+
+def scenario_epoch_batch(
+    world: World, batch: ScenarioEpochBatch
+) -> list[tuple[bool, int]]:
+    """Run an epoch's flows through one frozen world.
+
+    Per-flow results are byte-identical to :func:`scenario_flow_trial`
+    run trial by trial — the batch only shares frozen state, never RNG
+    streams (each trial still seeds its own generator).
+    """
+    if not batch.trials:
+        return []
+    first = batch.trials[0]
+    graph = extended_graph(world, first.deployed)
+    flows = []
+    for trial in batch.trials:
+        centroids = [
+            world.city.building(b).centroid() for b in trial.waypoint_ids
+        ]
+        conduits = conduits_for_waypoints(centroids, trial.conduit_width)
+        flows.append(
+            FlowSpec(
+                source_ap=trial.source_ap,
+                dest_building=trial.dst_building,
+                policy=ConduitPolicy(conduits, world.city),
+                rng=random.Random(trial.seed),
+            )
+        )
+    results = simulate_broadcast_batch(graph, flows, dead_aps=first.dead_aps)
+    return [(r.delivered, r.transmissions) for r in results]
+
+
 class ScenarioDriver:
     """Step one :class:`~repro.scenario.model.ScenarioSpec` to its result.
 
@@ -188,6 +237,9 @@ class ScenarioDriver:
         # validated against (None plan = known-unroutable then).
         self._plans: list[RoutePlan | None] = [None] * len(self.flows)
         self._plan_versions: list[int | None] = [None] * len(self.flows)
+        #: wall-clock seconds per stepped epoch (filled by :meth:`run`);
+        #: benchmark-only — never part of the deterministic result.
+        self.epoch_wall_s: list[float] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -322,10 +374,17 @@ class ScenarioDriver:
         two-waypoint header can span destroyed intermediates whose
         conduit now crosses a dead zone.  A surviving route is kept
         even if a newer map version might offer a better one.
+
+        All stale flows replan through one
+        :meth:`~repro.core.BuildingRouter.plan_batch` call, which runs
+        a single Dijkstra tree per distinct source instead of one
+        point-to-point search per flow.  Unroutable flows stay counted
+        as replan *attempts* (they consumed planner work), matching the
+        old per-flow accounting.
         """
         bg = self.world.building_graph
         version = bg.version
-        replans = 0
+        stale: list[int] = []
         for i, (src, dst) in enumerate(self.flows):
             if self._plan_versions[i] == version:
                 continue
@@ -333,13 +392,14 @@ class ScenarioDriver:
             if plan is not None and all(b in bg for b in plan.route):
                 self._plan_versions[i] = version
                 continue
-            replans += 1
-            try:
-                self._plans[i] = self.world.router.plan(src, dst)
-            except (NoRouteError, KeyError):
-                self._plans[i] = None
+            stale.append(i)
+        if not stale:
+            return 0
+        planned = self.world.router.plan_batch([self.flows[i] for i in stale])
+        for i in stale:
+            self._plans[i] = planned.get(self.flows[i])
             self._plan_versions[i] = version
-        return replans
+        return len(stale)
 
     # ------------------------------------------------------------------
     # Stepping
@@ -438,12 +498,18 @@ class ScenarioDriver:
 
         # The world's own spec (== spec.world for built worlds) is what
         # workers rebuild from; an injected spec-less world runs serial.
+        # The epoch's flows ship as ONE batch item so the executor
+        # freezes the world (CSR, dead mask, verdict bitmaps) once.
         with span("scenario.simulate", epoch=epoch, flows=len(trials)):
-            outcomes = self._runner.map(
-                scenario_flow_trial,
-                trials,
-                spec=self.world.spec,
-                world=self.world,
+            outcomes = (
+                self._runner.map(
+                    scenario_epoch_batch,
+                    [ScenarioEpochBatch(trials=tuple(trials))],
+                    spec=self.world.spec,
+                    world=self.world,
+                )[0]
+                if trials
+                else []
             )
         delivered = sum(1 for ok, _tx in outcomes if ok)
         transmissions = sum(tx for _ok, tx in outcomes)
@@ -488,10 +554,16 @@ class ScenarioDriver:
             config=self.spec.stream(), seed=self.spec.world.seed
         )
         reports: list[EpochReport] = []
+        self.epoch_wall_s: list[float] = []
         with span("scenario.run", scenario=self.spec.name):
             for e in range(self.spec.epochs):
                 with span("scenario.epoch", epoch=e):
+                    t0 = time.perf_counter()
                     reports.append(self._step(e))
+                    # Wall-clock per epoch, for benchmark percentiles.
+                    # Kept on the driver, NOT in the result: the
+                    # ScenarioResult JSON stays deterministic.
+                    self.epoch_wall_s.append(time.perf_counter() - t0)
         return ScenarioResult(
             name=self.spec.name,
             city=self.spec.world.city_name,

@@ -18,6 +18,12 @@ from .broadcast import (
     simulate_broadcast,
     transmission_overhead,
 )
+from .columnar import (
+    FlowSpec,
+    FrozenEpoch,
+    frozen_epoch,
+    simulate_broadcast_batch,
+)
 from .engine import Environment, Event, Process, SimulationError, Timeout, all_of
 from .fastpath import simulate_broadcast_fast
 from .radio import (
@@ -39,6 +45,9 @@ __all__ = [
     "Event",
     "FadingDetection",
     "FloodPolicy",
+    "FlowSpec",
+    "FrozenEpoch",
+    "frozen_epoch",
     "GossipPolicy",
     "LossyRadio",
     "MessageOutcome",
@@ -54,6 +63,7 @@ __all__ = [
     "all_of",
     "poisson_workload",
     "simulate_broadcast",
+    "simulate_broadcast_batch",
     "simulate_broadcast_fast",
     "simulate_broadcast_with_collisions",
     "simulate_traffic",

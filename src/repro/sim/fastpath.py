@@ -33,6 +33,7 @@ import random
 from heapq import heappop, heappush
 
 from ..mesh import APGraph
+from .columnar import frozen_epoch, policy_verdict_array, run_columnar
 from .broadcast import (
     BroadcastResult,
     ConduitPolicy,
@@ -121,6 +122,27 @@ def simulate_broadcast_fast(
     lossy = radio_kind is LossyRadio
     tx_delay = radio.tx_delay_s if (unit_disk or lossy) else 0.0
     loss_p = radio.loss_probability if lossy else 0.0
+
+    if unit_disk or lossy:
+        # Freezable policy + built-in radio: the columnar group-event
+        # kernel (same results, flat arrays, one heap entry per
+        # transmission) takes over.  Stateful policies and custom
+        # radios stay on the scalar loop below.
+        verdict_array = policy_verdict_array(policy, graph)
+        if verdict_array is not None:
+            return run_columnar(
+                frozen_epoch(graph, dead_aps),
+                source_ap,
+                graph.aps_in_building(dest_building),
+                graph.building_id_list()[source_ap] == dest_building,
+                verdict_array,
+                rng,
+                unit_disk,
+                tx_delay,
+                loss_p,
+                params,
+                compromised,
+            )
 
     verdicts = _precomputed_verdicts(policy, graph)
     blackholes = compromised if compromised else None

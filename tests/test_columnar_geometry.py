@@ -1,0 +1,171 @@
+"""The columnar conduit-overlap kernel must agree with the scalar
+predicate bit for bit — verdict by verdict — on every polygon."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    ConduitPath,
+    ConduitRect,
+    Point,
+    Polygon,
+    PolygonColumns,
+    path_overlap_mask,
+    rect_overlap_mask,
+)
+
+
+def random_polygon(rng: random.Random) -> Polygon:
+    """Random convex-ish footprint: a jittered rectangle or a regular
+    polygon, placed anywhere in a 400 m square."""
+    cx = rng.uniform(-50, 350)
+    cy = rng.uniform(-50, 350)
+    if rng.random() < 0.6:
+        w = rng.uniform(4, 40)
+        h = rng.uniform(4, 40)
+        return Polygon.rectangle(cx, cy, cx + w, cy + h)
+    return Polygon.regular(
+        Point(cx, cy),
+        radius=rng.uniform(3, 25),
+        sides=rng.randint(3, 8),
+        rotation=rng.uniform(0, math.pi),
+    )
+
+
+def random_rect(rng: random.Random) -> ConduitRect:
+    a = Point(rng.uniform(0, 300), rng.uniform(0, 300))
+    b = Point(rng.uniform(0, 300), rng.uniform(0, 300))
+    if a == b:
+        b = Point(a.x + 50.0, a.y)
+    return ConduitRect(a, b, width=rng.uniform(5, 80))
+
+
+def assert_mask_matches(polygons, path):
+    cols = PolygonColumns([p for p in polygons])
+    mask = path_overlap_mask(cols, path, polygons=polygons)
+    expected = [path.intersects_polygon(p) for p in polygons]
+    assert mask.tolist() == expected
+
+
+class TestRandomized:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_rects_match_scalar(self, seed):
+        rng = random.Random(seed)
+        polygons = [random_polygon(rng) for _ in range(120)]
+        cols = PolygonColumns(polygons)
+        for _ in range(6):
+            rect = random_rect(rng)
+            mask = rect_overlap_mask(cols, rect)
+            expected = [rect.intersects_polygon(p) for p in polygons]
+            assert mask.tolist() == expected
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_paths_match_scalar(self, seed):
+        rng = random.Random(100 + seed)
+        polygons = [random_polygon(rng) for _ in range(100)]
+        waypoints = [
+            Point(rng.uniform(0, 300), rng.uniform(0, 300))
+            for _ in range(rng.randint(2, 5))
+        ]
+        path = ConduitPath.from_waypoints(waypoints, width=rng.uniform(10, 60))
+        assert_mask_matches(polygons, path)
+
+
+class TestAdversarial:
+    """Touching, collinear, shared-vertex, and containment edge cases —
+    exactly where epsilon slop in the scalar clauses lives."""
+
+    def test_polygon_touching_rect_corner(self):
+        rect = ConduitRect(Point(0, 0), Point(100, 0), width=20)
+        # Rect corners at (0, ±10) and (100, ±10).
+        touching = Polygon.rectangle(100, 10, 120, 30)  # shares corner (100,10)
+        separate = Polygon.rectangle(100.001, 10.001, 120, 30)
+        inside = Polygon.rectangle(40, -5, 60, 5)
+        containing = Polygon.rectangle(-50, -50, 150, 50)  # rect fully inside
+        polys = [touching, separate, inside, containing]
+        cols = PolygonColumns(polys)
+        mask = rect_overlap_mask(cols, rect)
+        assert mask.tolist() == [rect.intersects_polygon(p) for p in polys]
+        assert mask.tolist() == [True, False, True, True]
+
+    def test_collinear_edge_overlap(self):
+        rect = ConduitRect(Point(0, 0), Point(100, 0), width=20)
+        # Polygon edge collinear with the rect's top edge y=10.
+        sharing_edge = Polygon.rectangle(20, 10, 60, 40)
+        just_above = Polygon.rectangle(20, 10 + 5e-13, 60, 40)  # inside 1e-12 slop
+        clearly_above = Polygon.rectangle(20, 10.1, 60, 40)
+        polys = [sharing_edge, just_above, clearly_above]
+        cols = PolygonColumns(polys)
+        mask = rect_overlap_mask(cols, rect)
+        assert mask.tolist() == [rect.intersects_polygon(p) for p in polys]
+
+    def test_vertex_exactly_on_rect_boundary(self):
+        rect = ConduitRect(Point(0, 0), Point(100, 0), width=20)
+        polys = [
+            Polygon((Point(50, 10), Point(70, 30), Point(30, 30))),  # apex on edge
+            Polygon((Point(50, 10.0000001), Point(70, 30), Point(30, 30))),
+            Polygon((Point(0, 10), Point(20, 30), Point(-20, 30))),  # apex on corner
+        ]
+        cols = PolygonColumns(polys)
+        mask = rect_overlap_mask(cols, rect)
+        assert mask.tolist() == [rect.intersects_polygon(p) for p in polys]
+
+    def test_degenerate_disc_conduit(self):
+        path = ConduitPath.from_waypoints([Point(50, 50)], width=30)
+        polys = [
+            Polygon.rectangle(40, 40, 60, 60),  # around the disc centre
+            Polygon.rectangle(63, 50, 80, 60),  # near the rim
+            Polygon.rectangle(80, 80, 90, 90),  # far away
+            Polygon.rectangle(64.9, 49, 80, 51),  # just inside r=15 laterally
+        ]
+        cols = PolygonColumns(polys)
+        mask = path_overlap_mask(cols, path, polygons=polys)
+        assert mask.tolist() == [path.intersects_polygon(p) for p in polys]
+
+    def test_degenerate_rect_direct_call_raises(self):
+        cols = PolygonColumns([Polygon.rectangle(0, 0, 1, 1)])
+        with pytest.raises(ValueError):
+            rect_overlap_mask(cols, ConduitRect(Point(5, 5), Point(5, 5), 10))
+
+    def test_skip_mask_only_skips(self):
+        rng = random.Random(7)
+        polys = [random_polygon(rng) for _ in range(50)]
+        rect = random_rect(rng)
+        cols = PolygonColumns(polys)
+        full = rect_overlap_mask(cols, rect)
+        skip = np.zeros(len(polys), dtype=bool)
+        skip[::3] = True
+        partial = rect_overlap_mask(cols, rect, skip=skip)
+        assert not partial[skip].any()
+        assert (partial[~skip] == full[~skip]).all()
+
+    def test_empty_columns(self):
+        cols = PolygonColumns([])
+        rect = ConduitRect(Point(0, 0), Point(10, 0), width=5)
+        assert rect_overlap_mask(cols, rect).shape == (0,)
+
+
+class TestAgainstRealCity:
+    def test_gridport_conduits_match(self):
+        from repro.city import make_city
+        from repro.core import BuildingRouter
+
+        city = make_city("gridport", seed=0)
+        router = BuildingRouter(city)
+        polys = [b.polygon for b in city.buildings]
+        cols = PolygonColumns(polys)
+        pairs = [
+            (city.buildings[0].id, city.buildings[-1].id),
+            (city.buildings[3].id, city.buildings[len(city.buildings) // 2].id),
+        ]
+        for src, dst in pairs:
+            plan = router.plan(src, dst)
+            mask = path_overlap_mask(cols, plan.conduits, polygons=polys)
+            expected = [
+                plan.conduits.intersects_polygon(p) for p in polys
+            ]
+            assert mask.tolist() == expected
+            assert mask.any()  # the route region is non-trivial

@@ -227,6 +227,9 @@ class TestMetricDirection:
         [
             ("build_s", "lower"),
             ("mean_epoch_s", "lower"),
+            ("epoch_p50_s", "lower"),
+            ("epoch_p95_s", "lower"),
+            ("epochs_per_s", "higher"),
             ("transmissions", "lower"),
             ("nodes_expanded", "lower"),
             ("events_per_s", "higher"),

@@ -129,6 +129,40 @@ class TestGenericMap:
         assert s["workers"] == 1
 
 
+class TestWorldCacheStats:
+    def test_serial_builds_once_then_hits(self, world, trials):
+        with TrialRunner(workers=1) as runner:
+            runner.run_deliveries(world.spec, trials)
+            runner.run_deliveries(world.spec, trials)
+            s = runner.stats()
+        assert s["world_cache_misses"] == 1
+        assert s["world_builds"] == 1
+        assert s["world_cache_hits"] == 1
+        assert s["workers_built"] == 1
+        assert s["world_builds_max_per_worker"] == 1
+
+    def test_caller_world_bypasses_cache(self, world, trials):
+        with TrialRunner(workers=1) as runner:
+            runner.run_deliveries(world, trials)
+            s = runner.stats()
+        assert s["world_cache_hits"] == 0
+        assert s["world_cache_misses"] == 0
+
+    def test_parallel_builds_at_most_once_per_worker(self, world, trials):
+        with TrialRunner(workers=2, chunk_size=3) as runner:
+            runner.run_deliveries(world.spec, trials)
+            runner.run_deliveries(world.spec, trials)
+            s = runner.stats()
+        # Every chunk consulted the cache; only first touches built.
+        assert s["world_cache_misses"] <= 2
+        assert s["world_builds_max_per_worker"] <= 1
+        assert s["world_cache_hits"] >= 1
+        assert (
+            s["world_cache_hits"] + s["world_cache_misses"]
+            >= s["chunks"]
+        )
+
+
 class TestCrashingTrials:
     """A trial that raises must surface as TrialError with the failing
     index and the traceback from the process that ran it — not vanish
