@@ -226,6 +226,15 @@ class BuildingGraph:
         self._max_radius = 0.0
         self._version = 0
         self._route_cache: LRUCache = LRUCache(maxsize=route_cache_size)
+        # Mutation listeners: called with fine-grained change events so
+        # layered structures (the hierarchical overlay) can invalidate
+        # only the regions a patch touched instead of everything.
+        self._listeners: list = []
+        #: Attached hierarchy router (set by
+        #: ``repro.buildgraph.hierarchy.attach_hierarchy``); consumers
+        #: like :class:`repro.core.BuildingRouter` plan through it
+        #: when present.
+        self.hierarchy = None
         self._extremes_dirty = True
         self._min_edge_m = 0.0
         self._max_edge_m = 0.0
@@ -358,6 +367,21 @@ class BuildingGraph:
     # ------------------------------------------------------------------
     # Mutation (explicit cache invalidation)
     # ------------------------------------------------------------------
+    def add_mutation_listener(self, listener) -> None:
+        """Subscribe to fine-grained mutation events.
+
+        ``listener(kind, *ids)`` fires with kind ``"remove"`` (before
+        the building leaves, so the listener can still inspect its
+        edges), ``"add_link"`` (after the edge lands), or
+        ``"add_building"`` (after insertion).  Listeners must not
+        mutate the graph.
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, kind: str, *ids: int) -> None:
+        for listener in self._listeners:
+            listener(kind, *ids)
+
     def _mutated(self) -> None:
         self._version += 1
         self._route_cache.clear()
@@ -365,6 +389,8 @@ class BuildingGraph:
         _M_INVALIDATIONS.inc()
 
     def _remove_building_no_bump(self, building_id: int) -> None:
+        if self._listeners and building_id in self._adjacency:
+            self._notify("remove", building_id)
         neighbors = self._adjacency.pop(building_id)
         for n in neighbors:
             del self._adjacency[n][building_id]
@@ -401,6 +427,8 @@ class BuildingGraph:
             raise ValueError("link weight must be positive")
         self._adjacency[building_a][building_b] = weight
         self._adjacency[building_b][building_a] = weight
+        if self._listeners:
+            self._notify("add_link", building_a, building_b)
 
     def add_link(
         self, building_a: int, building_b: int, weight: float | None = None
@@ -499,6 +527,8 @@ class BuildingGraph:
         self._radii[building.id] = radius
         self._max_radius = max(self._max_radius, radius)
         self._index.insert(building.id, c)
+        if self._listeners:
+            self._notify("add_building", building.id)
         self._mutated()
 
     # ------------------------------------------------------------------
@@ -674,6 +704,10 @@ class BuildingGraph:
         out["version"] = self._version
         for k, v in self._route_cache.counters().items():
             out[f"route_cache_{k}"] = v
+        approx = self._route_cache.approx_bytes()
+        out["route_cache_approx_bytes"] = approx
+        REGISTRY.gauge("buildgraph.route_cache.entries").set(len(self._route_cache))
+        REGISTRY.gauge("buildgraph.route_cache.approx_bytes").set(approx)
         return out
 
     def reset_stats(self) -> None:

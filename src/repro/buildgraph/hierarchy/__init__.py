@@ -1,0 +1,30 @@
+"""Metro-scale hierarchical routing (region-partitioned planning).
+
+Three layers: :mod:`.partition` grows balanced regions over the city
+block raster, :mod:`.overlay` contracts each region to an exact
+border-to-border matrix, and :mod:`.router` plans on the contracted
+overlay with on-demand expansion — cost-identical to the flat planner
+but with per-route work that scales with region size and border count
+instead of the whole metro.  Attach to a graph with
+:func:`attach_hierarchy`.
+"""
+
+from .overlay import RegionOverlay, build_overlay
+from .partition import (
+    DEFAULT_REGION_SIZE,
+    Region,
+    RegionPartition,
+    partition_regions,
+)
+from .router import MetroRouter, attach_hierarchy
+
+__all__ = [
+    "DEFAULT_REGION_SIZE",
+    "MetroRouter",
+    "Region",
+    "RegionOverlay",
+    "RegionPartition",
+    "attach_hierarchy",
+    "build_overlay",
+    "partition_regions",
+]

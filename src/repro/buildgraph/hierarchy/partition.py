@@ -1,0 +1,333 @@
+"""Region partitioning: k-region growing over the city block raster.
+
+The metro hierarchy's first layer: buildings bucket into coarse block
+cells (:func:`repro.city.blocks.assign_blocks`), blocks connect when
+any predicted building edge crosses between them, and ``k`` regions
+grow outward from farthest-point-sampled seed blocks, always extending
+the currently-smallest region so sizes stay balanced.  Everything is
+deterministic under ``seed``: blocks sort their members, growth
+processes frontiers FIFO with index tie-breaks, and the only RNG draw
+picks the first seed block.
+
+Regions are the unit of contraction (:mod:`.overlay`), cache sharding,
+and invalidation (:mod:`.router`) — a patch that touches one region
+rebuilds one overlay, not the metro.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...city.blocks import DEFAULT_BLOCK_SIZE, BlockKey, assign_blocks, block_key
+from ...geometry import GridIndex, Point
+from ...obs import REGISTRY
+
+_M_PARTITIONS = REGISTRY.counter("metro.partitions")
+_M_PARTITION_S = REGISTRY.timer("metro.partition_s")
+
+#: Default target buildings per region.  Terminal-region Dijkstra and
+#: leg expansion scale with region size while overlay size scales with
+#: total border count (~independent of the split), so ~1-2k keeps
+#: per-route latency low without drowning the overlay in borders.
+DEFAULT_REGION_SIZE = 1200
+
+
+@dataclass(frozen=True)
+class Region:
+    """One partition cell: a connected clump of block cells."""
+
+    index: int
+    members: tuple[int, ...]  # building ids, sorted
+    blocks: tuple[BlockKey, ...]
+    bbox: tuple[float, float, float, float]  # centroid bounds
+
+
+@dataclass
+class RegionPartition:
+    """A complete, seeded building → region assignment.
+
+    ``region_of`` answers the hot-path question; :meth:`assign_building`
+    folds later insertions into the nearest existing region (per-region
+    :class:`~repro.geometry.GridIndex` shards back the lookup, built
+    lazily).
+    """
+
+    regions: list[Region]
+    region_of: dict[int, int]
+    block_size: float
+    seed: int
+    _shards: dict[int, GridIndex[int]] = field(default_factory=dict, repr=False)
+    _live: list[set[int]] | None = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def live_members(self, region_idx: int) -> set[int]:
+        """The region's current member set (original + later insertions).
+
+        The frozen ``Region.members`` tuples record the build-time
+        assignment; this mutable view additionally tracks buildings
+        folded in by :meth:`assign_building`.  Callers filter by graph
+        presence themselves — demolitions are not tracked here.
+        """
+        if self._live is None:
+            self._live = [set(region.members) for region in self.regions]
+        return self._live[region_idx]
+
+    def shard_index(self, region_idx: int, centroid_of) -> GridIndex[int]:
+        """The region's spatial shard over member centroids (lazy).
+
+        ``centroid_of`` maps a building id to its :class:`Point`;
+        members that no longer resolve (demolished) are skipped.
+        """
+        shard = self._shards.get(region_idx)
+        if shard is None:
+            shard = GridIndex(cell_size=max(self.block_size, 1.0))
+            for bid in self.regions[region_idx].members:
+                try:
+                    shard.insert(bid, centroid_of(bid))
+                except KeyError:
+                    continue
+            self._shards[region_idx] = shard
+        return shard
+
+    def regions_overlapping(
+        self, min_x: float, min_y: float, max_x: float, max_y: float
+    ) -> list[int]:
+        """Region indices whose member bbox intersects the rectangle."""
+        out = []
+        for region in self.regions:
+            bx0, by0, bx1, by1 = region.bbox
+            if bx0 <= max_x and min_x <= bx1 and by0 <= max_y and min_y <= by1:
+                out.append(region.index)
+        return out
+
+    def assign_building(self, building_id: int, centroid: Point, centroid_of) -> int:
+        """Fold a newly-inserted building into the nearest region.
+
+        Candidate regions come from the block raster (the new centroid's
+        own block, else bbox overlap, else every region); the winner is
+        the one holding the nearest existing member centroid.  The
+        assignment is recorded in ``region_of`` (the frozen ``Region``
+        member tuples are left as built — overlays derive live
+        membership from ``region_of`` + graph presence).
+        """
+        existing = self.region_of.get(building_id)
+        if existing is not None:
+            return existing
+        candidates = self.regions_overlapping(
+            centroid.x - self.block_size,
+            centroid.y - self.block_size,
+            centroid.x + self.block_size,
+            centroid.y + self.block_size,
+        ) or [r.index for r in self.regions]
+        best_idx = candidates[0]
+        best_d = math.inf
+        for idx in candidates:
+            shard = self.shard_index(idx, centroid_of)
+            nearest = shard.nearest(centroid)
+            if nearest is None:
+                continue
+            d = shard.position_of(nearest).distance_to(centroid)
+            if d < best_d:
+                best_d = d
+                best_idx = idx
+        self.region_of[building_id] = best_idx
+        self.live_members(best_idx).add(building_id)
+        shard = self._shards.get(best_idx)
+        if shard is not None:
+            shard.insert(building_id, centroid)
+        return best_idx
+
+
+def _block_centers(
+    blocks: dict[BlockKey, list[int]], block_size: float
+) -> tuple[list[BlockKey], np.ndarray, np.ndarray]:
+    keys = sorted(blocks)
+    cx = np.fromiter(
+        ((k[0] + 0.5) * block_size for k in keys), dtype=np.float64, count=len(keys)
+    )
+    cy = np.fromiter(
+        ((k[1] + 0.5) * block_size for k in keys), dtype=np.float64, count=len(keys)
+    )
+    return keys, cx, cy
+
+
+def _farthest_point_seeds(
+    keys: list[BlockKey],
+    cx: np.ndarray,
+    cy: np.ndarray,
+    k: int,
+    rng: random.Random,
+) -> list[int]:
+    """k spread-out block indices: one RNG pick, then farthest-point."""
+    first = rng.randrange(len(keys))
+    seeds = [first]
+    min_d2 = (cx - cx[first]) ** 2 + (cy - cy[first]) ** 2
+    for _ in range(1, k):
+        nxt = int(np.argmax(min_d2))  # ties: lowest index, deterministic
+        if min_d2[nxt] <= 0.0:
+            break  # fewer distinct blocks than regions requested
+        seeds.append(nxt)
+        d2 = (cx - cx[nxt]) ** 2 + (cy - cy[nxt]) ** 2
+        np.minimum(min_d2, d2, out=min_d2)
+    return seeds
+
+
+def partition_regions(
+    graph,
+    target_region_size: int = DEFAULT_REGION_SIZE,
+    n_regions: int | None = None,
+    block_size: float = DEFAULT_BLOCK_SIZE,
+    seed: int = 0,
+) -> RegionPartition:
+    """Partition a :class:`~repro.buildgraph.BuildingGraph` into regions.
+
+    Args:
+        graph: the building graph to partition (only centroids and
+            edges are consulted).
+        target_region_size: aimed-for buildings per region; the region
+            count is ``ceil(n / target_region_size)`` when ``n_regions``
+            is not given.
+        n_regions: explicit region count override.
+        block_size: block-raster cell side in metres.
+        seed: picks the first seed block; everything else is
+            deterministic given the graph.
+
+    Raises:
+        ValueError: for an empty graph or non-positive sizing.
+    """
+    import time
+
+    t0 = time.perf_counter()
+    if target_region_size < 1:
+        raise ValueError("target region size must be >= 1")
+    node_ids = list(graph)
+    if not node_ids:
+        raise ValueError("cannot partition an empty building graph")
+    k = n_regions if n_regions is not None else max(1, -(-len(node_ids) // target_region_size))
+    if k < 1:
+        raise ValueError("region count must be >= 1")
+
+    blocks = assign_blocks(
+        ((bid, graph.centroid(bid)) for bid in node_ids), block_size
+    )
+    keys, cx, cy = _block_centers(blocks, block_size)
+    k = min(k, len(keys))
+
+    # Block adjacency from predicted building edges (sorted for
+    # determinism; adjacency via edges keeps regions connected in the
+    # graph sense, not just geometrically).
+    block_of_building: dict[int, int] = {}
+    for i, key in enumerate(keys):
+        for bid in blocks[key]:
+            block_of_building[bid] = i
+    neighbors: list[set[int]] = [set() for _ in keys]
+    for bid in node_ids:
+        bu = block_of_building[bid]
+        for other in graph.neighbors(bid):
+            bv = block_of_building.get(other)
+            if bv is not None and bv != bu:
+                neighbors[bu].add(bv)
+                neighbors[bv].add(bu)
+
+    rng = random.Random(seed)
+    seeds = _farthest_point_seeds(keys, cx, cy, k, rng)
+    k = len(seeds)
+
+    # Balanced multi-source growth: always extend the smallest region.
+    # Seeds are pre-claimed so a fast-growing neighbour cannot swallow
+    # another region's seed block; per-claim sizes strictly increase,
+    # so (size, r) heap entries self-invalidate when stale.
+    import heapq
+
+    block_region = [-1] * len(keys)
+    for r, s in enumerate(seeds):
+        block_region[s] = r
+    frontiers: list[deque[int]] = [deque([s]) for s in seeds]
+    sizes = [0] * k
+    heap = [(0, r) for r in range(k)]
+    heapq.heapify(heap)
+    while heap:
+        size, r = heapq.heappop(heap)
+        if size != sizes[r]:
+            continue  # stale entry
+        frontier = frontiers[r]
+        claimed = -1
+        while frontier:
+            b = frontier.popleft()
+            if block_region[b] == -1:
+                block_region[b] = r
+                claimed = b
+                break
+            if block_region[b] == r and sizes[r] == 0:
+                claimed = b  # the region's own pre-claimed seed
+                break
+        if claimed == -1:
+            continue  # frontier exhausted: region is done growing
+        sizes[r] += len(blocks[keys[claimed]])
+        for nb in sorted(neighbors[claimed]):
+            if block_region[nb] == -1:
+                frontier.append(nb)
+        heapq.heappush(heap, (sizes[r], r))
+
+    # Blocks unreachable from every seed (disconnected pockets): attach
+    # to the nearest seed block by centre distance, ties to the lower
+    # region index.
+    for b, r in enumerate(block_region):
+        if r != -1:
+            continue
+        best_r, best_d2 = 0, math.inf
+        for ri, s in enumerate(seeds):
+            d2 = (cx[b] - cx[s]) ** 2 + (cy[b] - cy[s]) ** 2
+            if d2 < best_d2:
+                best_d2 = d2
+                best_r = ri
+        block_region[b] = best_r
+
+    region_blocks: list[list[BlockKey]] = [[] for _ in range(k)]
+    region_members: list[list[int]] = [[] for _ in range(k)]
+    region_of: dict[int, int] = {}
+    for b, key in enumerate(keys):
+        r = block_region[b]
+        region_blocks[r].append(key)
+        for bid in blocks[key]:
+            region_members[r].append(bid)
+            region_of[bid] = r
+
+    regions: list[Region] = []
+    for r in range(k):
+        members = sorted(region_members[r])
+        if members:
+            xs = [graph.centroid(bid).x for bid in members]
+            ys = [graph.centroid(bid).y for bid in members]
+            bbox = (min(xs), min(ys), max(xs), max(ys))
+        else:
+            bbox = (0.0, 0.0, 0.0, 0.0)
+        regions.append(
+            Region(
+                index=r,
+                members=tuple(members),
+                blocks=tuple(sorted(region_blocks[r])),
+                bbox=bbox,
+            )
+        )
+    _M_PARTITIONS.inc()
+    _M_PARTITION_S.observe(time.perf_counter() - t0)
+    return RegionPartition(
+        regions=regions, region_of=region_of, block_size=block_size, seed=seed
+    )
+
+
+__all__ = [
+    "DEFAULT_REGION_SIZE",
+    "Region",
+    "RegionPartition",
+    "block_key",
+    "partition_regions",
+]

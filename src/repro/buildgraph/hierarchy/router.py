@@ -1,0 +1,588 @@
+"""MetroRouter: exact hierarchical planning over contracted regions.
+
+Planning a route runs three stages:
+
+1. **Terminal Dijkstra** — a full single-source tree over the source
+   and destination regions' intra subgraphs (cached per region, so a
+   batch reusing sources pays once).
+2. **Overlay A*** — Dijkstra/A* over the global border graph, where
+   settling a border relaxes *all* of its region's borders in one
+   numpy row operation against the region's contracted matrix ``D``,
+   plus the original cross-region edges one by one.  Virtual source
+   and destination attachment comes from the terminal trees, and with
+   the graph's consistent straight-line heuristic the search stops as
+   soon as the heap front can no longer beat the best complete route.
+3. **Expansion** — only the contracted edges on the winning border
+   chain expand to full intra-region paths (per-region LRU cached);
+   cross edges are literal hops.
+
+The result is cost-identical to the flat planner (see
+:mod:`.overlay` for the exactness argument); only float association
+order differs.  Caches — route, negative, leg-expansion, terminal —
+shard per region, and a mutation listener on the owning
+:class:`~repro.buildgraph.BuildingGraph` marks only the touched
+regions dirty so a patch rebuilds a couple of overlays, not the metro.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from heapq import heappop, heappush
+
+import numpy as np
+
+from ...obs import REGISTRY
+from ..lru import LRUCache
+from ..planner import NoRouteError, extract_route, heap_search, sssp_tree
+from .overlay import RegionOverlay, build_overlay
+from .partition import (
+    DEFAULT_REGION_SIZE,
+    RegionPartition,
+    partition_regions,
+)
+
+_M_PLANS = REGISTRY.counter("metro.plan_calls")
+_M_SEARCH_S = REGISTRY.timer("metro.route_search_s")
+_M_SETTLED = REGISTRY.counter("metro.overlay_settled")
+_M_REBUILDS = REGISTRY.counter("metro.region_rebuilds")
+
+# Per-shard cache bounds.  Routes/legs are tuples of building ids, so
+# shard_count * bound * route_length bounds retained bytes; terminal
+# entries hold two region-sized dicts and get a much smaller bound.
+DEFAULT_ROUTE_CACHE_PER_REGION = 256
+DEFAULT_EXPANSION_CACHE_PER_REGION = 512
+DEFAULT_TERMINAL_CACHE_PER_REGION = 4
+
+# Sentinel for pairs proven unroutable (mirrors the flat planner).
+_NO_ROUTE = object()
+
+
+class MetroRouter:
+    """Region-partitioned exact planner for metro-scale graphs.
+
+    Args:
+        graph: the :class:`~repro.buildgraph.BuildingGraph` to plan
+            over; a mutation listener is registered on it.
+        partition: a :class:`RegionPartition` covering the graph.
+        route_cache_per_region / expansion_cache_per_region /
+        terminal_cache_per_region: LRU bounds for the per-region cache
+            shards.
+
+    Overlays build lazily on first plan (or explicitly via
+    :meth:`build_overlays`); mutations mark only touched regions dirty.
+    """
+
+    def __init__(
+        self,
+        graph,
+        partition: RegionPartition,
+        route_cache_per_region: int = DEFAULT_ROUTE_CACHE_PER_REGION,
+        expansion_cache_per_region: int = DEFAULT_EXPANSION_CACHE_PER_REGION,
+        terminal_cache_per_region: int = DEFAULT_TERMINAL_CACHE_PER_REGION,
+    ):
+        self.graph = graph
+        self.partition = partition
+        k = len(partition)
+        self._overlays: list[RegionOverlay | None] = [None] * k
+        self._dirty: set[int] = set(range(k))
+        self._route_shards = [
+            LRUCache(maxsize=route_cache_per_region) for _ in range(k)
+        ]
+        self._expansion_shards = [
+            LRUCache(maxsize=expansion_cache_per_region) for _ in range(k)
+        ]
+        self._terminal_shards = [
+            LRUCache(maxsize=terminal_cache_per_region) for _ in range(k)
+        ]
+        # Global border index, rebuilt after overlay rebuilds: gid →
+        # building / region / local row, per-region gid arrays, border
+        # centroid arrays for the A* heuristic, gid-translated cross
+        # edges.
+        self._gid_building: list[int] = []
+        self._gid_region: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._gid_local: list[int] = []
+        self._region_gids: list[np.ndarray] = []
+        self._cross: list[list[tuple[int, float]]] = []
+        self._px = np.zeros(0, dtype=np.float64)
+        self._py = np.zeros(0, dtype=np.float64)
+        self._stats = {
+            "plan_calls": 0,
+            "searches": 0,
+            "overlay_settled": 0,
+            "terminal_sssp_runs": 0,
+            "expansion_runs": 0,
+            "nodes_expanded": 0,
+            "region_rebuilds": 0,
+            "reindexes": 0,
+            "overlay_build_time_s": 0.0,
+        }
+        graph.add_mutation_listener(self._on_mutation)
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def _on_mutation(self, kind: str, *ids: int) -> None:
+        region_of = self.partition.region_of
+        if kind == "remove":
+            bid = ids[0]
+            r = region_of.get(bid)
+            if r is not None:
+                self._dirty.add(r)
+            # Fires pre-removal: the doomed building's cross-region
+            # neighbours lose a border edge, so their regions dirty too.
+            try:
+                neighbors = self.graph.neighbors(bid)
+            except KeyError:  # pragma: no cover - defensive
+                neighbors = {}
+            for v in neighbors:
+                rv = region_of.get(v)
+                if rv is not None:
+                    self._dirty.add(rv)
+        elif kind == "add_link":
+            for bid in ids:
+                r = region_of.get(bid)
+                if r is not None:
+                    self._dirty.add(r)
+        elif kind == "add_building":
+            bid = ids[0]
+            r = self.partition.assign_building(
+                bid, self.graph.centroid(bid), self.graph.centroid
+            )
+            self._dirty.add(r)
+            for v in self.graph.neighbors(bid):
+                rv = region_of.get(v)
+                if rv is not None:
+                    self._dirty.add(rv)
+
+    def build_overlays(self) -> None:
+        """Force every dirty region's overlay current (timed)."""
+        self._ensure_current()
+
+    def _ensure_current(self) -> None:
+        if not self._dirty:
+            return
+        t0 = time.perf_counter()
+        version = self.graph.version
+        for r in sorted(self._dirty):
+            self._overlays[r] = build_overlay(
+                self.graph, self.partition, r, built_version=version
+            )
+            self._expansion_shards[r].clear()
+            self._terminal_shards[r].clear()
+            self._stats["region_rebuilds"] += 1
+            _M_REBUILDS.inc()
+        self._dirty.clear()
+        self._reindex()
+        self._stats["overlay_build_time_s"] += time.perf_counter() - t0
+
+    def _reindex(self) -> None:
+        """Rebuild the global border-gid view from current overlays."""
+        gid_building: list[int] = []
+        gid_region: list[int] = []
+        gid_local: list[int] = []
+        region_gids: list[np.ndarray] = []
+        gid_of: dict[int, int] = {}
+        for r, overlay in enumerate(self._overlays):
+            borders = overlay.borders if overlay is not None else ()
+            gids = np.empty(len(borders), dtype=np.int64)
+            for i, b in enumerate(borders):
+                g = len(gid_building)
+                gid_of[b] = g
+                gid_building.append(b)
+                gid_region.append(r)
+                gid_local.append(i)
+                gids[i] = g
+            region_gids.append(gids)
+        total = len(gid_building)
+        centroid = self.graph.centroid
+        px = np.empty(total, dtype=np.float64)
+        py = np.empty(total, dtype=np.float64)
+        for g, b in enumerate(gid_building):
+            c = centroid(b)
+            px[g] = c.x
+            py[g] = c.y
+        cross: list[list[tuple[int, float]]] = [[] for _ in range(total)]
+        for overlay in self._overlays:
+            if overlay is None:
+                continue
+            for u, v, w in overlay.cross:
+                gv = gid_of.get(v)
+                if gv is None:  # pragma: no cover - defensive
+                    continue
+                cross[gid_of[u]].append((gv, w))
+        self._gid_building = gid_building
+        self._gid_region = np.asarray(gid_region, dtype=np.int64)
+        self._gid_local = gid_local
+        self._region_gids = region_gids
+        self._cross = cross
+        self._px = px
+        self._py = py
+        self._stats["reindexes"] += 1
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _region_of(self, building_id: int) -> int:
+        region = self.partition.region_of.get(building_id)
+        if region is None:  # pragma: no cover - listener normally covers
+            region = self.partition.assign_building(
+                building_id,
+                self.graph.centroid(building_id),
+                self.graph.centroid,
+            )
+            self._dirty.add(region)
+            self._ensure_current()
+        return region
+
+    def plan(self, src_building: int, dst_building: int) -> list[int]:
+        """Minimum-weight route, cost-identical to the flat planner.
+
+        Raises:
+            KeyError: if either endpoint is missing from the graph.
+            NoRouteError: if the endpoints are on disconnected islands.
+        """
+        graph = self.graph
+        if src_building not in graph:
+            raise KeyError(src_building)
+        if dst_building not in graph:
+            raise KeyError(dst_building)
+        self._stats["plan_calls"] += 1
+        _M_PLANS.inc()
+        if src_building == dst_building:
+            return [src_building]
+        self._ensure_current()
+        src_region = self._region_of(src_building)
+        shard = self._route_shards[src_region]
+        key = (src_building, dst_building, graph.version)
+        cached = shard.get(key)
+        if cached is _NO_ROUTE:
+            raise NoRouteError(
+                f"no predicted path between buildings {src_building} "
+                f"and {dst_building}"
+            )
+        if cached is not None:
+            return list(cached)
+        self._stats["searches"] += 1
+        t0 = time.perf_counter()
+        route = self._search(src_building, dst_building, src_region)
+        _M_SEARCH_S.observe(time.perf_counter() - t0)
+        if route is None:
+            shard.put(key, _NO_ROUTE)
+            raise NoRouteError(
+                f"no predicted path between buildings {src_building} "
+                f"and {dst_building}"
+            )
+        shard.put(key, tuple(route))
+        return route
+
+    def plan_routes(
+        self, pairs,
+    ) -> list[list[int] | None]:
+        """Batched planning with flat-planner semantics.
+
+        ``None`` marks unroutable or unknown pairs.  Batching leverage
+        comes from the per-region caches: the terminal tree of a shared
+        source (or destination region) is computed once, and repeated
+        pairs hit the route shards.
+        """
+        results: list[list[int] | None] = [None] * len(pairs)
+        for i, (src, dst) in enumerate(pairs):
+            try:
+                results[i] = self.plan(src, dst)
+            except (NoRouteError, KeyError):
+                continue
+        return results
+
+    def _terminal(self, building_id: int, region: int):
+        """Cached full single-source tree over the region's subgraph."""
+        shard = self._terminal_shards[region]
+        entry = shard.get(building_id)
+        if entry is None:
+            overlay = self._overlays[region]
+            dist, parent, expanded = sssp_tree(
+                overlay.subgraph.__getitem__, building_id, None
+            )
+            self._stats["terminal_sssp_runs"] += 1
+            self._stats["nodes_expanded"] += expanded
+            entry = (dist, parent)
+            shard.put(building_id, entry)
+        return entry
+
+    def _search(
+        self, src: int, dst: int, src_region: int
+    ) -> list[int] | None:
+        graph = self.graph
+        dst_region = self._region_of(dst)
+        dist_src, parent_src = self._terminal(src, src_region)
+        dist_dst, parent_dst = self._terminal(dst, dst_region)
+
+        best = math.inf
+        best_entry = -1  # gid of final border; -1 = direct intra route
+        if src_region == dst_region:
+            direct = dist_src.get(dst)
+            if direct is not None:
+                best = direct
+
+        total = len(self._gid_building)
+        parent = None
+        via_contract = None
+        if total:
+            scale = graph._heuristic_scale()
+            target = graph.centroid(dst)
+            if scale > 0.0:
+                h = scale * np.hypot(self._px - target.x, self._py - target.y)
+            else:
+                h = np.zeros(total, dtype=np.float64)
+            dist = np.full(total, np.inf, dtype=np.float64)
+            parent = np.full(total, -2, dtype=np.int64)  # -2 unreached
+            via_contract = np.zeros(total, dtype=bool)
+            done = np.zeros(total, dtype=bool)
+            heap: list[tuple[float, int]] = []
+            src_overlay = self._overlays[src_region]
+            src_gids = self._region_gids[src_region]
+            for i, b in enumerate(src_overlay.borders):
+                d0 = dist_src.get(b)
+                if d0 is None:
+                    continue
+                g = int(src_gids[i])
+                dist[g] = d0
+                parent[g] = -1  # attached directly to the source
+                heappush(heap, (d0 + float(h[g]), g))
+            gid_region = self._gid_region
+            gid_local = self._gid_local
+            gid_building = self._gid_building
+            overlays = self._overlays
+            region_gids = self._region_gids
+            cross = self._cross
+            settled = 0
+            while heap:
+                f, u = heappop(heap)
+                if done[u]:
+                    continue
+                if f >= best:
+                    break  # consistent h: nothing left can beat best
+                done[u] = True
+                settled += 1
+                du = float(dist[u])
+                r = int(gid_region[u])
+                if r == dst_region:
+                    tail = dist_dst.get(gid_building[u])
+                    if tail is not None and du + tail < best:
+                        best = du + tail
+                        best_entry = u
+                # Contracted relaxation: all of region r's borders in
+                # one vector op against u's row of D.  Only borders
+                # *entered via a cross edge* need it: a source-attached
+                # border is dominated by the terminal tree (which seeds
+                # every intra-reachable border exactly), and two
+                # consecutive contracted edges are dominated by the
+                # single contracted edge relaxed at the previous border
+                # (triangle inequality inside the region).
+                if parent[u] >= 0 and not via_contract[u]:
+                    overlay = overlays[r]
+                    if len(overlay.borders) > 1:
+                        gr = region_gids[r]
+                        nd = du + overlay.D[gid_local[u]]
+                        mask = nd < dist[gr]
+                        if mask.any():
+                            upd = gr[mask]
+                            ndm = nd[mask]
+                            dist[upd] = ndm
+                            parent[upd] = u
+                            via_contract[upd] = True
+                            scores = ndm + h[upd]
+                            for g2, f2 in zip(upd.tolist(), scores.tolist()):
+                                if f2 < best:
+                                    heappush(heap, (f2, g2))
+                for g2, w in cross[u]:
+                    nd2 = du + w
+                    if nd2 < float(dist[g2]):
+                        dist[g2] = nd2
+                        parent[g2] = u
+                        via_contract[g2] = False
+                        f2 = nd2 + float(h[g2])
+                        if f2 < best:
+                            heappush(heap, (f2, g2))
+            self._stats["overlay_settled"] += settled
+            _M_SETTLED.inc(settled)
+
+        if not math.isfinite(best):
+            return None
+        if best_entry == -1:
+            return extract_route(parent_src, src, dst)
+        # Walk the winning border chain back to the source attachment.
+        # Chain nodes are all settled, so parent/via_contract hold
+        # their final (optimal) values.
+        chain: list[int] = []
+        g = best_entry
+        while g != -1:
+            chain.append(g)
+            g = int(parent[g])
+        chain.reverse()
+        return self._assemble(
+            src, dst, chain, parent_src, parent_dst, via_contract
+        )
+
+    def _assemble(
+        self, src, dst, chain, parent_src, parent_dst, via_contract
+    ) -> list[int]:
+        gid_building = self._gid_building
+        gid_region = self._gid_region
+        route = extract_route(parent_src, src, gid_building[chain[0]])
+        for i in range(1, len(chain)):
+            g_prev = chain[i - 1]
+            g_cur = chain[i]
+            if via_contract[g_cur]:
+                leg = self._expand_leg(
+                    int(gid_region[g_cur]),
+                    gid_building[g_prev],
+                    gid_building[g_cur],
+                )
+                route.extend(leg[1:])
+            else:
+                route.append(gid_building[g_cur])  # literal cross hop
+        entry_building = gid_building[chain[-1]]
+        if entry_building != dst:
+            tail = extract_route(parent_dst, dst, entry_building)
+            tail.reverse()  # tree is rooted at dst: flip to entry → dst
+            route.extend(tail[1:])
+        return route
+
+    def _expand_leg(self, region: int, a: int, b: int) -> list[int]:
+        """Full intra-region path for one contracted edge (cached)."""
+        shard = self._expansion_shards[region]
+        cached = shard.get((a, b))
+        if cached is not None:
+            return list(cached)
+        reverse = shard.get((b, a))
+        if reverse is not None:
+            leg = list(reverse)
+            leg.reverse()
+            shard.put((a, b), tuple(leg))
+            return leg
+        overlay = self._overlays[region]
+        graph = self.graph
+        scale = graph._heuristic_scale()
+        if scale > 0.0:
+            target = graph.centroid(b)
+            centroid = graph.centroid
+            heuristic = (
+                lambda n: scale * centroid(n).distance_to(target)  # noqa: E731
+            )
+        else:
+            heuristic = None
+        leg, expanded = heap_search(
+            overlay.subgraph.__getitem__, a, b, heuristic
+        )
+        self._stats["expansion_runs"] += 1
+        self._stats["nodes_expanded"] += expanded
+        if leg is None:  # pragma: no cover - contracted edge implies path
+            raise NoRouteError(
+                f"overlay desync: contracted edge {a}->{b} in region "
+                f"{region} has no intra-region path"
+            )
+        shard.put((a, b), tuple(leg))
+        return leg
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, float]:
+        """Aggregated work counters and cache accounting.
+
+        Also publishes ``metro.*`` cache gauges (entries and
+        approximate bytes per cache family, summed over the region
+        shards) to the observability registry.
+        """
+        out: dict[str, float] = dict(self._stats)
+        out["regions"] = len(self.partition)
+        out["borders"] = len(self._gid_building)
+        out["dirty_regions"] = len(self._dirty)
+        for family, shards in (
+            ("route_cache", self._route_shards),
+            ("expansion_cache", self._expansion_shards),
+            ("terminal_cache", self._terminal_shards),
+        ):
+            entries = sum(len(s) for s in shards)
+            hits = sum(s.hits for s in shards)
+            misses = sum(s.misses for s in shards)
+            evictions = sum(s.evictions for s in shards)
+            approx = sum(s.approx_bytes() for s in shards)
+            out[f"{family}_entries"] = entries
+            out[f"{family}_hits"] = hits
+            out[f"{family}_misses"] = misses
+            out[f"{family}_evictions"] = evictions
+            out[f"{family}_approx_bytes"] = approx
+            REGISTRY.gauge(f"metro.{family}.entries").set(entries)
+            REGISTRY.gauge(f"metro.{family}.approx_bytes").set(approx)
+        return out
+
+    def shard_stats(self) -> list[dict[str, float]]:
+        """Per-region cache and overlay detail (bench reporting)."""
+        rows: list[dict[str, float]] = []
+        for r in range(len(self.partition)):
+            overlay = self._overlays[r]
+            rows.append(
+                {
+                    "region": r,
+                    "members": len(overlay) if overlay is not None else 0,
+                    "borders": len(overlay.borders)
+                    if overlay is not None
+                    else 0,
+                    "route_entries": len(self._route_shards[r]),
+                    "route_hits": self._route_shards[r].hits,
+                    "route_approx_bytes": self._route_shards[r].approx_bytes(),
+                    "expansion_entries": len(self._expansion_shards[r]),
+                    "terminal_entries": len(self._terminal_shards[r]),
+                }
+            )
+        return rows
+
+    def reset_stats(self) -> None:
+        """Zero the work counters and per-shard cache counters."""
+        for k in self._stats:
+            self._stats[k] = 0 if isinstance(self._stats[k], int) else 0.0
+        for shards in (
+            self._route_shards,
+            self._expansion_shards,
+            self._terminal_shards,
+        ):
+            for s in shards:
+                s.reset_counters()
+
+
+def attach_hierarchy(
+    graph,
+    target_region_size: int = DEFAULT_REGION_SIZE,
+    n_regions: int | None = None,
+    block_size: float | None = None,
+    seed: int = 0,
+    **router_kwargs,
+) -> MetroRouter:
+    """Partition ``graph`` and attach a :class:`MetroRouter` to it.
+
+    Sets ``graph.hierarchy`` so routing layers
+    (:class:`repro.core.BuildingRouter`) dispatch through the
+    hierarchy automatically.  Overlays build lazily on first plan;
+    call :meth:`MetroRouter.build_overlays` to front-load the cost.
+    """
+    from .partition import DEFAULT_BLOCK_SIZE
+
+    partition = partition_regions(
+        graph,
+        target_region_size=target_region_size,
+        n_regions=n_regions,
+        block_size=block_size if block_size is not None else DEFAULT_BLOCK_SIZE,
+        seed=seed,
+    )
+    router = MetroRouter(graph, partition, **router_kwargs)
+    graph.hierarchy = router
+    return router
+
+
+__all__ = [
+    "DEFAULT_REGION_SIZE",
+    "MetroRouter",
+    "attach_hierarchy",
+]

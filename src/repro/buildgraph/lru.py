@@ -89,3 +89,38 @@ class LRUCache(Generic[K, V]):
             "misses": self.misses,
             "evictions": self.evictions,
         }
+
+    def approx_bytes(self) -> int:
+        """Approximate retained memory of keys plus values, in bytes.
+
+        A cheap structural model, not ``sys.getsizeof`` recursion: per
+        entry the dict slot plus both objects, where tuples (route
+        lists, waypoint keys) count 8 bytes per element over a fixed
+        object header.  Used by the cache-memory gauges; the point is
+        trend and order of magnitude per shard, not byte accuracy.
+        """
+        total = 0
+        for key, value in self._data.items():
+            total += _ENTRY_OVERHEAD
+            total += _approx_obj_bytes(key)
+            total += _approx_obj_bytes(value)
+        return total
+
+
+#: Dict-slot + bookkeeping cost charged per cache entry.
+_ENTRY_OVERHEAD = 96
+
+
+def _approx_obj_bytes(obj: object) -> int:
+    """Flat size model for the object shapes the caches actually hold."""
+    if isinstance(obj, tuple):
+        inner = sum(
+            _approx_obj_bytes(item) if isinstance(item, (tuple, dict)) else 8
+            for item in obj
+        )
+        return 56 + inner
+    if isinstance(obj, (list, frozenset, set)):
+        return 56 + 8 * len(obj)
+    if isinstance(obj, dict):
+        return 64 + 40 * len(obj)
+    return 32

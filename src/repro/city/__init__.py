@@ -1,25 +1,38 @@
 """City models and synthetic city generators."""
 
-from .blocks import clear_of_obstacles, l_shaped_building, rotated_rectangle, subdivide_block
+from .blocks import (
+    DEFAULT_BLOCK_SIZE,
+    assign_blocks,
+    block_key,
+    clear_of_obstacles,
+    l_shaped_building,
+    rotated_rectangle,
+    subdivide_block,
+)
 from .generators import (
     campus,
     fractured_city,
     grid_downtown,
     metro_city,
+    metro_grid,
     old_town,
     park_city,
     residential,
     river_city,
 )
 from .model import Building, BuildingId, City, Obstacle, city_from_footprints
-from .presets import CITY_PRESETS, make_city, preset_names
+from .presets import CITY_PRESETS, METRO_PRESETS, make_city, preset_names
 
 __all__ = [
     "CITY_PRESETS",
+    "DEFAULT_BLOCK_SIZE",
+    "METRO_PRESETS",
     "Building",
     "BuildingId",
     "City",
     "Obstacle",
+    "assign_blocks",
+    "block_key",
     "campus",
     "city_from_footprints",
     "clear_of_obstacles",
@@ -28,6 +41,7 @@ __all__ = [
     "l_shaped_building",
     "make_city",
     "metro_city",
+    "metro_grid",
     "old_town",
     "park_city",
     "preset_names",

@@ -14,6 +14,7 @@ from .generators import (
     campus,
     fractured_city,
     grid_downtown,
+    metro_grid,
     old_town,
     park_city,
     residential,
@@ -42,6 +43,18 @@ CITY_PRESETS: dict[str, CityFactory] = {
     "oldtown": lambda seed: old_town(seed=seed, name="oldtown"),
 }
 
+#: Metro-scale presets for the hierarchical routing regime.  Kept out
+#: of :data:`CITY_PRESETS` on purpose: the fig6 / replication sweeps
+#: enumerate that dict, and a 20k–100k-building world has no place in
+#: a per-city delivery experiment.  ``repro metro`` and bench_metro
+#: resolve these through :func:`make_city` like any other name.
+METRO_PRESETS: dict[str, CityFactory] = {
+    # ~20k buildings: the CI smoke size.
+    "metro-20k": lambda seed: metro_grid(seed=seed, cols=142, rows=142, name="metro-20k"),
+    # ~100k buildings: the BENCH_metro baseline size.
+    "metro-100k": lambda seed: metro_grid(seed=seed, cols=317, rows=317, name="metro-100k"),
+}
+
 
 def make_city(name: str, seed: int = 0) -> City:
     """Instantiate a preset city by name.
@@ -49,10 +62,9 @@ def make_city(name: str, seed: int = 0) -> City:
     Raises:
         KeyError: for an unknown preset name.
     """
-    try:
-        factory = CITY_PRESETS[name]
-    except KeyError:
-        known = ", ".join(sorted(CITY_PRESETS))
+    factory = CITY_PRESETS.get(name) or METRO_PRESETS.get(name)
+    if factory is None:
+        known = ", ".join(sorted(CITY_PRESETS) + sorted(METRO_PRESETS))
         raise KeyError(f"unknown city preset {name!r}; known presets: {known}") from None
     return factory(seed)
 

@@ -159,6 +159,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
 
     p = sub.add_parser(
+        "metro", help="metro-scale hierarchical routing: partition + plan stats"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--preset",
+        default="metro-20k",
+        help="city preset (metro-20k, metro-100k, or any regular preset)",
+    )
+    p.add_argument(
+        "--routes", type=int, default=200, help="random routes to plan"
+    )
+    p.add_argument(
+        "--region-size",
+        type=int,
+        default=None,
+        help="target buildings per region (default: library default)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    p = sub.add_parser(
         "scenario", help="dynamic disaster timelines with fault injection"
     )
     scen = p.add_subparsers(dest="scenario_command", required=True)
@@ -231,6 +253,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_obs(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "metro":
+        return _run_metro(args)
     seed = getattr(args, "seed", 0)
     trace = getattr(args, "trace", None)
     if trace:
@@ -283,6 +307,70 @@ def _run_bench(args: argparse.Namespace) -> int:
         warn_only=args.warn_only,
         verbose=args.verbose,
     )
+
+
+def _run_metro(args: argparse.Namespace) -> int:
+    """``metro``: partition a city, attach the hierarchy, report stats."""
+    import json as _json
+    import random as _random
+    import statistics
+    import time as _time
+
+    from .buildgraph import BuildingGraph, NoRouteError, attach_hierarchy
+    from .city import make_city
+
+    t0 = _time.perf_counter()
+    city = make_city(args.preset, seed=args.seed)
+    graph = BuildingGraph(city)
+    build_s = _time.perf_counter() - t0
+    kwargs = {}
+    if args.region_size is not None:
+        kwargs["target_region_size"] = args.region_size
+    t0 = _time.perf_counter()
+    router = attach_hierarchy(graph, seed=args.seed, **kwargs)
+    partition_s = _time.perf_counter() - t0
+    t0 = _time.perf_counter()
+    router.build_overlays()
+    overlay_s = _time.perf_counter() - t0
+    rng = _random.Random(args.seed)
+    ids = list(graph)
+    latencies: list[float] = []
+    unroutable = 0
+    for _ in range(max(args.routes, 0)):
+        src, dst = rng.sample(ids, 2)
+        t0 = _time.perf_counter()
+        try:
+            router.plan(src, dst)
+        except NoRouteError:
+            unroutable += 1
+        latencies.append(_time.perf_counter() - t0)
+    stats = router.stats()
+    out = {
+        "preset": args.preset,
+        "buildings": len(graph),
+        "edges": graph.edge_count(),
+        "regions": int(stats["regions"]),
+        "borders": int(stats["borders"]),
+        "graph_build_s": round(build_s, 4),
+        "partition_s": round(partition_s, 4),
+        "overlay_build_s": round(overlay_s, 4),
+        "routes_planned": len(latencies),
+        "unroutable": unroutable,
+        "route_p50_ms": round(statistics.median(latencies) * 1e3, 3)
+        if latencies
+        else None,
+        "route_max_ms": round(max(latencies) * 1e3, 3) if latencies else None,
+        "overlay_settled": int(stats["overlay_settled"]),
+        "route_cache_entries": int(stats["route_cache_entries"]),
+        "route_cache_approx_bytes": int(stats["route_cache_approx_bytes"]),
+    }
+    if args.json:
+        print(_json.dumps(out, indent=2, sort_keys=True))
+        return 0
+    width = max(len(k) for k in out)
+    for k, v in out.items():
+        print(f"{k:<{width}}  {v}")
+    return 0
 
 
 def _dispatch(args: argparse.Namespace, seed: int, runner: TrialRunner) -> int:

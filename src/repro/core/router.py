@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from ..buildgraph import BuildingGraph, LRUCache, NoRouteError, plan_building_route
 from ..city import City
 from ..geometry import ConduitPath, Point
+from ..obs import REGISTRY
 from .compression import DEFAULT_CONDUIT_WIDTH, compress_route, conduits_for_waypoints
 from .packet import Packet, PacketHeader, decode_header, encode_header
 
@@ -76,6 +77,18 @@ class BuildingRouter:
             )
         self._max_building_id = max_building_id if max_building_id is not None else local_max
 
+    def _planner(self):
+        """The planning backend: the attached metro hierarchy if any.
+
+        A :class:`~repro.buildgraph.MetroRouter` attached via
+        ``attach_hierarchy`` exposes the same ``plan``/``plan_routes``
+        surface as the flat graph, so everything downstream (route
+        compression, batch planning, scenario replanning) is agnostic
+        to which one answered.
+        """
+        hierarchy = getattr(self.graph, "hierarchy", None)
+        return hierarchy if hierarchy is not None else self.graph
+
     def plan(
         self,
         src_building: int,
@@ -88,7 +101,7 @@ class BuildingRouter:
             KeyError: if either building is missing from the graph.
             repro.buildgraph.NoRouteError: if the map predicts no path.
         """
-        route = plan_building_route(self.graph, src_building, dst_building)
+        route = plan_building_route(self._planner(), src_building, dst_building)
         centroids = [self.graph.centroid(b) for b in route]
         compressed = compress_route(centroids, width=self.conduit_width)
         waypoint_ids = tuple(route[i] for i in compressed.waypoints)
@@ -132,7 +145,7 @@ class BuildingRouter:
         unknown pairs are simply omitted from the result (batch
         callers skip failed pairs rather than abort the sweep).
         """
-        batched = getattr(self.graph, "plan_routes", None)
+        batched = getattr(self._planner(), "plan_routes", None)
         if callable(batched):
             batched(pairs)
         plans: dict[tuple[int, int], RoutePlan] = {}
@@ -201,3 +214,15 @@ class ConduitMembership:
     def should_rebroadcast(self, header: PacketHeader, position: Point) -> bool:
         """§3 step 3: is this AP inside any conduit of the packet?"""
         return self.conduits_of(header).contains(position)
+
+    def stats(self) -> dict[str, float]:
+        """Cache accounting, published to the ``core.conduit_cache``
+        gauges so long-running scenarios can watch AP-side memory."""
+        out: dict[str, float] = {}
+        for k, v in self._cache.counters().items():
+            out[f"conduit_cache_{k}"] = v
+        approx = self._cache.approx_bytes()
+        out["conduit_cache_approx_bytes"] = approx
+        REGISTRY.gauge("core.conduit_cache.entries").set(len(self._cache))
+        REGISTRY.gauge("core.conduit_cache.approx_bytes").set(approx)
+        return out

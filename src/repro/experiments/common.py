@@ -5,7 +5,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..buildgraph import BuildingGraph, NoRouteError
+from ..buildgraph import BuildingGraph, NoRouteError, attach_hierarchy
 from ..city import City, make_city
 from ..core import BuildingRouter
 from ..mesh import DEFAULT_AP_DENSITY, APGraph, place_aps
@@ -53,6 +53,7 @@ class WorldSpec:
     conduit_width: float = PAPER_CONDUIT_WIDTH
     weight_exponent: float = 3.0
     metro_id_space: bool = False
+    hierarchy: bool = False
 
     def build(self) -> World:
         """Materialise the world this spec describes."""
@@ -64,6 +65,7 @@ class WorldSpec:
             conduit_width=self.conduit_width,
             weight_exponent=self.weight_exponent,
             metro_id_space=self.metro_id_space,
+            hierarchy=self.hierarchy,
         )
         world.spec = self
         return world
@@ -77,6 +79,7 @@ def build_world(
     conduit_width: float = PAPER_CONDUIT_WIDTH,
     weight_exponent: float = 3.0,
     metro_id_space: bool = False,
+    hierarchy: bool = False,
 ) -> World:
     """Build a preset city, its AP mesh, and a router."""
     return WorldSpec(
@@ -87,6 +90,7 @@ def build_world(
         conduit_width=conduit_width,
         weight_exponent=weight_exponent,
         metro_id_space=metro_id_space,
+        hierarchy=hierarchy,
     ).build()
 
 
@@ -98,8 +102,15 @@ def build_world_from_city(
     conduit_width: float = PAPER_CONDUIT_WIDTH,
     weight_exponent: float = 3.0,
     metro_id_space: bool = False,
+    hierarchy: bool = False,
 ) -> World:
-    """Build the AP mesh and router for an already-constructed city."""
+    """Build the AP mesh and router for an already-constructed city.
+
+    With ``hierarchy=True`` the building graph gets a metro hierarchy
+    attached (:func:`repro.buildgraph.attach_hierarchy`): region
+    partitioning is seeded from ``seed`` and the router plans through
+    the contracted overlay, cost-identical to the flat planner.
+    """
     aps = place_aps(city, density=ap_density, rng=random.Random(seed))
     graph = APGraph(aps, transmission_range=transmission_range)
     building_graph = BuildingGraph(
@@ -108,6 +119,8 @@ def build_world_from_city(
         weight_exponent=weight_exponent,
         ap_density=ap_density,
     )
+    if hierarchy:
+        attach_hierarchy(building_graph, seed=seed)
     router = BuildingRouter(
         city,
         graph=building_graph,

@@ -8,6 +8,7 @@ built *without* looking at it, which is exactly the paper's point.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -30,6 +31,11 @@ class APGraph:
 
     aps: list[AccessPoint]
     transmission_range: float = DEFAULT_TRANSMISSION_RANGE
+    #: Generation counter: 0 for a fresh build, parent + 1 for graphs
+    #: produced by :meth:`with_added_aps`.  Each instance is still
+    #: immutable; the version distinguishes extension generations for
+    #: cache keys.
+    version: int = field(default=0, init=False)
     _adjacency: list[list[int]] = field(init=False, repr=False)
     _index: GridIndex[int] = field(init=False, repr=False)
     _by_building: dict[int, list[int]] = field(init=False, repr=False)
@@ -73,6 +79,102 @@ class APGraph:
         """The transmission range in force for one AP."""
         r = self.aps[ap_id].range_m
         return r if r is not None else self.transmission_range
+
+    def with_added_aps(self, new_aps: list[AccessPoint]) -> "APGraph":
+        """A new graph extending this one — without the full rebuild.
+
+        The returned graph is exactly what ``APGraph(self.aps +
+        new_aps)`` would build, including *neighbour-list order* (the
+        columnar broadcast kernel aligns RNG draws with adjacency
+        order, so byte-identical lists are part of the contract, not a
+        nicety).  A fresh build orders each list by the neighbour's
+        grid cell ascending, then by insertion order within the cell's
+        bucket; new APs land at bucket tails, so extension reduces to
+        ordered inserts into the O(degree) affected lists instead of
+        an O(n·degree) rebuild.
+
+        Falls back to a genuine full rebuild only when a new AP's
+        override range exceeds the existing grid cell size (a fresh
+        build would choose different cells, changing global order).
+
+        Raises:
+            ValueError: if new ids do not continue contiguously, or a
+                new AP has a non-positive override range.
+        """
+        if not new_aps:
+            return self
+        n0 = len(self.aps)
+        for i, ap in enumerate(new_aps):
+            if ap.id != n0 + i:
+                raise ValueError(
+                    "new AP ids must continue contiguously from "
+                    f"{n0}, got {ap.id}"
+                )
+        cell_size = self._index.cell_size
+        needs_rebuild = False
+        for ap in new_aps:
+            if ap.range_m is not None:
+                if ap.range_m <= 0:
+                    raise ValueError(f"AP {ap.id} has non-positive range")
+                if ap.range_m > cell_size:
+                    needs_rebuild = True
+        combined = list(self.aps) + list(new_aps)
+        if needs_rebuild:
+            return APGraph(combined, transmission_range=self.transmission_range)
+
+        clone: APGraph = object.__new__(APGraph)
+        clone.aps = combined
+        clone.transmission_range = self.transmission_range
+        clone.version = self.version + 1
+        index = self._index.copy()
+        adjacency = [list(a) for a in self._adjacency]
+        adjacency.extend([] for _ in new_aps)
+        by_building = {k: list(v) for k, v in self._by_building.items()}
+        for ap in new_aps:
+            index.insert(ap.id, ap.position)
+
+        def eff(ap: AccessPoint) -> float:
+            return ap.range_m if ap.range_m is not None else self.transmission_range
+
+        def cell_of(p: Point) -> tuple[int, int]:
+            return (math.floor(p.x / cell_size), math.floor(p.y / cell_size))
+
+        positions = {ap.id: ap.position for ap in combined}
+        for ap in new_aps:
+            e_v = eff(ap)
+            v_cell = cell_of(ap.position)
+            # The new AP's own list comes straight from a radius query
+            # over the extended index — that IS fresh-build order.
+            own: list[int] = []
+            for other_id in index.query_radius(ap.position, e_v):
+                if other_id == ap.id:
+                    continue
+                other = combined[other_id]
+                link_range = min(e_v, eff(other))
+                if ap.position.distance_to(other.position) > link_range:
+                    continue
+                own.append(other_id)
+                if other_id < n0:
+                    # New-new pairs are covered by each other's radius
+                    # queries; only pre-existing lists need a patch.
+                    # Ordered insert into the lower-id endpoint's list:
+                    # after every neighbour in a cell <= the new AP's
+                    # (equal-cell existing entries precede bucket-tail
+                    # newcomers; earlier new APs were inserted first,
+                    # matching their bucket order).
+                    lst = adjacency[other_id]
+                    pos = len(lst)
+                    for idx, w in enumerate(lst):
+                        if cell_of(positions[w]) > v_cell:
+                            pos = idx
+                            break
+                    lst.insert(pos, ap.id)
+            adjacency[ap.id] = own
+            by_building.setdefault(ap.building_id, []).append(ap.id)
+        clone._adjacency = adjacency
+        clone._index = index
+        clone._by_building = by_building
+        return clone
 
     # ------------------------------------------------------------------
     # Structure queries

@@ -253,5 +253,9 @@ def bridge_all_islands(
 
 
 def apply_bridges(graph: APGraph, new_aps: list[AccessPoint]) -> APGraph:
-    """A new AP graph with the bridge APs added."""
-    return APGraph(aps=list(graph.aps) + list(new_aps), transmission_range=graph.transmission_range)
+    """A new AP graph with the bridge APs added.
+
+    Extends incrementally (:meth:`APGraph.with_added_aps`) — identical
+    adjacency to a fresh build, without re-pairing the whole mesh.
+    """
+    return graph.with_added_aps(list(new_aps))

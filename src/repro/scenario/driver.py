@@ -97,19 +97,35 @@ def extended_graph(world: World, deployed: tuple[DeployedAP, ...]) -> APGraph:
     Deployed ids continue the base mesh's contiguous ids, so dead sets
     and trial source APs index identically in the driver and in every
     worker process.
+
+    Extension is incremental: the longest memoised prefix of
+    ``deployed`` (or the base mesh) grows via
+    :meth:`~repro.mesh.APGraph.with_added_aps`, which patches only the
+    affected adjacency lists — byte-identical to a full rebuild,
+    including neighbour order, without the O(n·degree) scan per
+    deployment.
     """
     if not deployed:
         return world.graph
-    key = (world.spec if world.spec is not None else id(world), deployed)
+    ident = world.spec if world.spec is not None else id(world)
+    key = (ident, deployed)
     graph = _EXTENDED.get(key)
     if graph is None:
         if len(_EXTENDED) > 8:  # scenarios deploy rarely; keep this tiny
             _EXTENDED.clear()
-        aps = list(world.graph.aps) + [
+        base = world.graph
+        start = 0
+        for cut in range(len(deployed) - 1, 0, -1):
+            prefix = _EXTENDED.get((ident, deployed[:cut]))
+            if prefix is not None:
+                base = prefix
+                start = cut
+                break
+        new_aps = [
             AccessPoint(id=ap_id, position=Point(x, y), building_id=building_id)
-            for ap_id, x, y, building_id in deployed
+            for ap_id, x, y, building_id in deployed[start:]
         ]
-        graph = APGraph(aps, transmission_range=world.graph.transmission_range)
+        graph = base.with_added_aps(new_aps)
         _EXTENDED[key] = graph
     return graph
 

@@ -178,3 +178,23 @@ class TestPlanner:
         actual = sum(g.neighbors(a)[b] for a, b in zip(route, route[1:]))
         assert expected is not None
         assert actual == pytest.approx(expected, rel=1e-9)
+
+
+def test_stats_publishes_route_cache_gauges():
+    from repro.obs import REGISTRY
+
+    city = make_city("gridport", seed=0)
+    g = BuildingGraph(city)
+    ids = [b.id for b in city.buildings]
+    g.plan(ids[0], ids[-1])
+    stats = g.stats()
+    assert stats["route_cache_size"] >= 1
+    assert stats["route_cache_approx_bytes"] > 0
+    assert (
+        REGISTRY.gauge("buildgraph.route_cache.entries").value
+        == stats["route_cache_size"]
+    )
+    assert (
+        REGISTRY.gauge("buildgraph.route_cache.approx_bytes").value
+        == stats["route_cache_approx_bytes"]
+    )

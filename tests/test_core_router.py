@@ -195,3 +195,25 @@ class TestConduitMembership:
         for _ in range(100):
             p = Point(rng.uniform(min_x, max_x), rng.uniform(min_y, max_y))
             assert m.should_rebroadcast(plan.header, p) == plan.conduits.contains(p)
+
+    def test_stats_publishes_cache_gauges(self):
+        from repro.obs import REGISTRY
+
+        city = linear_city()
+        plan = BuildingRouter(city).plan(1, 6)
+        m = ConduitMembership(city)
+        m.conduits_of(plan.header)  # miss
+        m.conduits_of(plan.header)  # hit
+        stats = m.stats()
+        assert stats["conduit_cache_hits"] == 1
+        assert stats["conduit_cache_misses"] == 1
+        assert stats["conduit_cache_size"] == 1
+        assert stats["conduit_cache_approx_bytes"] > 0
+        assert (
+            REGISTRY.gauge("core.conduit_cache.entries").value
+            == stats["conduit_cache_size"]
+        )
+        assert (
+            REGISTRY.gauge("core.conduit_cache.approx_bytes").value
+            == stats["conduit_cache_approx_bytes"]
+        )

@@ -281,3 +281,84 @@ class TestIslands:
         g = APGraph(line_of_aps([0, 40, 80]), transmission_range=50)
         plans, new_aps = bridge_all_islands(g)
         assert plans == [] and new_aps == []
+
+
+class TestWithAddedAps:
+    """APGraph.with_added_aps must reproduce a fresh build byte-exactly.
+
+    The columnar broadcast kernel aligns RNG draws with adjacency-list
+    order, so these tests require *exact list equality* (including
+    neighbour order), not just the same edge set.
+    """
+
+    @staticmethod
+    def _world(preset="gridport", seed=0):
+        city = make_city(preset, seed=seed)
+        aps = place_aps(city, rng=random.Random(seed))
+        return city, APGraph(aps)
+
+    @staticmethod
+    def _assert_identical(extended, fresh):
+        assert len(extended) == len(fresh)
+        assert extended.adjacency_lists() == fresh.adjacency_lists()
+        for b in {ap.building_id for ap in fresh.aps}:
+            assert extended.aps_in_building(b) == fresh.aps_in_building(b)
+
+    def test_extension_matches_fresh_build(self):
+        city, base = self._world()
+        plans, new_aps = bridge_all_islands(base, min_island_size=2)
+        if not new_aps:  # connected world: manufacture a deploy anyway
+            n0 = len(base.aps)
+            new_aps = [
+                AccessPoint(n0 + i, Point(30.0 * i, -40.0), 1)
+                for i in range(4)
+            ]
+        extended = base.with_added_aps(new_aps)
+        fresh = APGraph(list(base.aps) + list(new_aps))
+        self._assert_identical(extended, fresh)
+        assert extended.version == base.version + 1
+        assert fresh.version == 0
+        # The base graph is untouched (immutability contract).
+        assert len(base) == len(fresh) - len(new_aps)
+        assert all(w < len(base) for lst in base.adjacency_lists() for w in lst)
+
+    def test_chained_extensions_bump_version(self):
+        _, base = self._world()
+        n0 = len(base.aps)
+        batch1 = [AccessPoint(n0, Point(5.0, -30.0), 1)]
+        batch2 = [
+            AccessPoint(n0 + 1, Point(25.0, -30.0), 1),
+            AccessPoint(n0 + 2, Point(45.0, -30.0), 1),
+        ]
+        g1 = base.with_added_aps(batch1)
+        g2 = g1.with_added_aps(batch2)
+        assert (base.version, g1.version, g2.version) == (0, 1, 2)
+        fresh = APGraph(list(base.aps) + batch1 + batch2)
+        self._assert_identical(g2, fresh)
+
+    def test_override_range_within_cell_is_incremental(self):
+        _, base = self._world()
+        n0 = len(base.aps)
+        new_aps = [AccessPoint(n0, Point(10.0, -20.0), 1, range_m=45.0)]
+        extended = base.with_added_aps(new_aps)
+        assert extended.version == base.version + 1
+        self._assert_identical(extended, APGraph(list(base.aps) + new_aps))
+
+    def test_oversized_range_falls_back_to_full_rebuild(self):
+        _, base = self._world()
+        n0 = len(base.aps)
+        new_aps = [AccessPoint(n0, Point(10.0, -20.0), 1, range_m=500.0)]
+        extended = base.with_added_aps(new_aps)
+        assert extended.version == 0  # fresh build, not an extension
+        self._assert_identical(extended, APGraph(list(base.aps) + new_aps))
+
+    def test_noncontiguous_ids_rejected(self):
+        _, base = self._world()
+        with pytest.raises(ValueError):
+            base.with_added_aps(
+                [AccessPoint(len(base.aps) + 5, Point(0.0, -20.0), 1)]
+            )
+
+    def test_empty_batch_returns_self(self):
+        _, base = self._world()
+        assert base.with_added_aps([]) is base

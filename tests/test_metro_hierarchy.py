@@ -1,0 +1,276 @@
+"""Correctness tests for the metro hierarchy (repro.buildgraph.hierarchy).
+
+The contract under test: a :class:`MetroRouter` planning through
+region-contracted overlays returns routes **cost-identical** to the
+flat planner (only float association order may differ), partitioning
+is deterministic under a seed, and mutations rebuild only the touched
+regions' overlays.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.buildgraph import (
+    BuildingGraph,
+    MetroRouter,
+    NoRouteError,
+    attach_hierarchy,
+    partition_regions,
+)
+from repro.city import Building
+from repro.city.generators import metro_grid
+from repro.core import BuildingRouter
+from repro.geometry import Polygon
+from repro.obs import REGISTRY
+
+# ~5k buildings: large enough for a real multi-region partition,
+# small enough to flat-plan a reference batch in seconds.
+COLS = ROWS = 71
+N = COLS * ROWS
+REGION_SIZE = 600
+
+
+def _route_cost(graph, route):
+    """Sum of edge weights along a route (asserts every hop exists)."""
+    total = 0.0
+    for a, b in zip(route, route[1:]):
+        total += graph.neighbors(a)[b]
+    return total
+
+
+def _regions_touched(router, route):
+    return {router.partition.region_of[b] for b in route}
+
+
+@pytest.fixture(scope="module")
+def metro_city():
+    return metro_grid(seed=3, cols=COLS, rows=ROWS, name="metro-5k")
+
+
+@pytest.fixture(scope="module")
+def metro_graph(metro_city):
+    graph = BuildingGraph(metro_city)
+    attach_hierarchy(graph, target_region_size=REGION_SIZE, seed=0)
+    return graph
+
+
+@pytest.fixture(scope="module")
+def flat_graph(metro_city):
+    """An independent flat-planner reference over the same city."""
+    return BuildingGraph(metro_city)
+
+
+def far_pairs(count, seed=11):
+    """Corner-to-corner-ish pairs: the routes that cross many regions."""
+    rng = random.Random(seed)
+    low = range(1, COLS + 1)
+    high = range(N - COLS + 1, N + 1)
+    return [(rng.choice(low), rng.choice(high)) for _ in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Partition
+# ----------------------------------------------------------------------
+def test_partition_covers_every_building(metro_graph):
+    partition = metro_graph.hierarchy.partition
+    seen = set()
+    for region in partition.regions:
+        assert not seen & set(region.members), "regions overlap"
+        seen.update(region.members)
+    assert seen == set(metro_graph)
+    assert len(partition.regions) >= 4
+    # region_of is the inverse mapping
+    for region in partition.regions:
+        assert all(partition.region_of[b] == region.index for b in region.members)
+
+
+def test_partition_deterministic(metro_graph, flat_graph):
+    a = partition_regions(flat_graph, target_region_size=REGION_SIZE, seed=0)
+    b = partition_regions(flat_graph, target_region_size=REGION_SIZE, seed=0)
+    assert [r.members for r in a.regions] == [r.members for r in b.regions]
+    # ... and matches the partition the module fixture built.
+    ours = metro_graph.hierarchy.partition
+    assert [r.members for r in a.regions] == [r.members for r in ours.regions]
+
+
+# ----------------------------------------------------------------------
+# Cost equivalence with the flat planner
+# ----------------------------------------------------------------------
+def test_cross_region_routes_match_flat_cost(metro_graph, flat_graph):
+    router = metro_graph.hierarchy
+    pairs = far_pairs(40)
+    multi_region = 0
+    for src, dst in pairs:
+        hier = router.plan(src, dst)
+        flat = flat_graph.plan(src, dst)
+        assert hier[0] == src and hier[-1] == dst
+        h_cost = _route_cost(metro_graph, hier)  # validates every hop
+        f_cost = _route_cost(flat_graph, flat)
+        assert math.isclose(h_cost, f_cost, rel_tol=1e-9), (src, dst)
+        if len(_regions_touched(router, hier)) >= 2:
+            multi_region += 1
+    # The far pairs exist to exercise the overlay: nearly all must
+    # cross regions, and corner-to-corner ones span several.
+    assert multi_region >= len(pairs) * 3 // 4
+    assert any(
+        len(_regions_touched(router, router.plan(s, d))) >= 3
+        for s, d in pairs
+    )
+
+
+def test_random_pairs_match_flat_cost(metro_graph, flat_graph):
+    router = metro_graph.hierarchy
+    rng = random.Random(5)
+    for _ in range(60):
+        src, dst = rng.sample(range(1, N + 1), 2)
+        h_cost = _route_cost(metro_graph, router.plan(src, dst))
+        f_cost = _route_cost(flat_graph, flat_graph.plan(src, dst))
+        assert math.isclose(h_cost, f_cost, rel_tol=1e-9), (src, dst)
+
+
+def test_same_region_and_trivial_plans(metro_graph):
+    router = metro_graph.hierarchy
+    region = router.partition.regions[0]
+    src, dst = region.members[0], region.members[-1]
+    route = router.plan(src, dst)
+    assert route[0] == src and route[-1] == dst
+    assert router.plan(src, src) == [src]
+    with pytest.raises(KeyError):
+        router.plan(src, N + 999)
+
+
+def test_batched_plan_routes_and_router_dispatch(metro_city, metro_graph):
+    router = metro_graph.hierarchy
+    pairs = far_pairs(6, seed=23) + [(1, N + 999)]
+    results = router.plan_routes(pairs)
+    assert results[-1] is None  # unknown id, flat-planner semantics
+    assert all(r is not None for r in results[:-1])
+    # BuildingRouter dispatches through the attached hierarchy.
+    core = BuildingRouter(metro_city, graph=metro_graph)
+    assert core._planner() is router
+    plan = core.plan(*pairs[0])
+    assert plan.route[0] == pairs[0][0] and plan.route[-1] == pairs[0][1]
+
+
+# ----------------------------------------------------------------------
+# Invalidation
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def small_pair():
+    """A fresh, mutable ~1.6k-building world with hierarchy + flat ref."""
+    city = metro_grid(seed=7, cols=40, rows=40, name="metro-1k6")
+    graph = BuildingGraph(city)
+    attach_hierarchy(graph, target_region_size=220, seed=0)
+    graph.hierarchy.build_overlays()
+    return graph, BuildingGraph(city)
+
+
+def test_patch_rebuilds_only_touched_regions(small_pair):
+    graph, flat = small_pair
+    router = graph.hierarchy
+    n_regions = len(router.partition)
+    assert n_regions >= 4
+    # Demolish a handful of buildings from one region's interior.
+    region = router.partition.regions[0]
+    doomed = list(region.members[8:12])
+    graph.patch(remove=doomed)
+    flat.patch(remove=doomed)
+    dirty = set(router._dirty)
+    assert region.index in dirty
+    assert len(dirty) < n_regions  # not a metro-wide rebuild
+    before = router.stats()["region_rebuilds"]
+    router.build_overlays()
+    rebuilt = router.stats()["region_rebuilds"] - before
+    assert rebuilt == len(dirty)
+    # Routes over the patched graph still match the flat planner.
+    rng = random.Random(2)
+    alive = sorted(set(graph))
+    for _ in range(25):
+        src, dst = rng.sample(alive, 2)
+        h_cost = _route_cost(graph, router.plan(src, dst))
+        f_cost = _route_cost(flat, flat.plan(src, dst))
+        assert math.isclose(h_cost, f_cost, rel_tol=1e-9), (src, dst)
+
+
+def test_add_link_and_building_invalidate(small_pair):
+    graph, flat = small_pair
+    router = graph.hierarchy
+    # A long-range announced link (bridge infrastructure).
+    a, b = 1, 1600
+    graph.add_link(a, b, weight=5.0)
+    flat.add_link(a, b, weight=5.0)
+    assert router.partition.region_of[a] in router._dirty
+    route = router.plan(a, b)
+    assert route == [a, b]
+    assert flat.plan(a, b) == [a, b]
+    # A new building joins its nearest region and is routable.
+    new = Building(9001, Polygon.rectangle(200.0, 200.0, 230.0, 230.0))
+    graph.add_building(new)
+    flat.add_building(new)
+    assert router.partition.region_of[9001] is not None
+    h_cost = _route_cost(graph, router.plan(9001, 800))
+    f_cost = _route_cost(flat, flat.plan(9001, 800))
+    assert math.isclose(h_cost, f_cost, rel_tol=1e-9)
+
+
+def test_disconnected_islands_raise_no_route(small_pair):
+    graph, flat = small_pair
+    router = graph.hierarchy
+    # Sever the grid down the middle: drop three full columns so no
+    # predicted edge spans the cut (jittered pitch ~45 m, threshold
+    # well below 3 * 45 m).
+    cut_cols = (19, 20, 21)
+    doomed = [j * 40 + i + 1 for j in range(40) for i in cut_cols]
+    graph.patch(remove=doomed)
+    flat.patch(remove=doomed)
+    with pytest.raises(NoRouteError):
+        router.plan(1, 40)
+    # The negative result is cached per shard; a repeat still raises.
+    with pytest.raises(NoRouteError):
+        router.plan(1, 40)
+    with pytest.raises(NoRouteError):
+        flat.plan(1, 40)
+
+
+# ----------------------------------------------------------------------
+# Cache instrumentation
+# ----------------------------------------------------------------------
+def test_stats_and_cache_gauges(metro_graph):
+    router = metro_graph.hierarchy
+    src, dst = far_pairs(1, seed=41)[0]
+    router.plan(src, dst)
+    hits_before = router.stats()["route_cache_hits"]
+    router.plan(src, dst)  # warm: must hit the route shard
+    stats = router.stats()
+    assert stats["route_cache_hits"] == hits_before + 1
+    assert stats["route_cache_entries"] >= 1
+    assert stats["route_cache_approx_bytes"] > 0
+    assert stats["regions"] == len(router.partition)
+    assert stats["borders"] > 0
+    # stats() publishes the gauges to the shared registry.
+    for family in ("route_cache", "expansion_cache", "terminal_cache"):
+        gauge = REGISTRY.gauge(f"metro.{family}.entries")
+        assert gauge.value == stats[f"{family}_entries"]
+        bytes_gauge = REGISTRY.gauge(f"metro.{family}.approx_bytes")
+        assert bytes_gauge.value == stats[f"{family}_approx_bytes"]
+
+
+def test_shard_stats_rows(metro_graph):
+    router = metro_graph.hierarchy
+    rows = router.shard_stats()
+    assert len(rows) == len(router.partition)
+    assert sum(r["members"] for r in rows) == len(metro_graph)
+    assert all(r["borders"] > 0 for r in rows)
+    assert sum(r["route_entries"] for r in rows) >= 1
+
+
+def test_attach_returns_router_and_sets_attribute():
+    city = metro_grid(seed=9, cols=12, rows=12, name="tiny-metro")
+    graph = BuildingGraph(city)
+    router = attach_hierarchy(graph, target_region_size=40, seed=1)
+    assert isinstance(router, MetroRouter)
+    assert graph.hierarchy is router
+    route = router.plan(1, 144)
+    assert route[0] == 1 and route[-1] == 144
