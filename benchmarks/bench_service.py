@@ -1,0 +1,161 @@
+"""Service-layer throughput benchmark (``repro.service``).
+
+Boots the always-on DFN service on a daemon thread (its own event
+loop, ephemeral port — exactly what ``repro serve`` runs), renders a
+scenario timeline into a deterministic request trace, and replays it
+closed-loop from the main thread:
+
+- **TCP** — ``ServiceClient`` connections against the real HTTP/1.1
+  server: sustained requests/s, client-observed p50/p99 latency, and
+  the push-confirm round trips the trace's ``pushes`` responses force;
+- **in-process** — the same trace through ``InProcessClient`` (no
+  sockets), isolating dispatch + sharded-store cost from the network
+  stack;
+- **correctness along the way** — zero 5xx responses, and every urgent
+  send's push eventually confirmed through the exactly-once path.
+
+One JSON perf record is emitted at teardown (stdout, and
+``$SERVICE_PERF_JSON`` when set).  ``SERVICE_BENCH_PHONES`` and
+``SERVICE_BENCH_CONNECTIONS`` scale the workload (CI smoke shrinks
+both); ``SERVICE_BENCH_SCENARIO`` picks the timeline and
+``SERVICE_BENCH_FLOOR_REQ_S`` optionally asserts a TCP throughput
+floor (the acceptance runs use 5000).
+"""
+
+import asyncio
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.obs import RunManifest
+from repro.scenario import make_scenario
+from repro.service import (
+    InProcessClient,
+    ServiceClient,
+    build_app,
+    generate_trace,
+    run_loadgen,
+    run_service,
+)
+
+SCENARIO = os.environ.get("SERVICE_BENCH_SCENARIO", "river-flood")
+PHONES = int(os.environ.get("SERVICE_BENCH_PHONES", "2000"))
+CONNECTIONS = int(os.environ.get("SERVICE_BENCH_CONNECTIONS", "32"))
+SHARDS = int(os.environ.get("SERVICE_BENCH_SHARDS", "8"))
+FLOOR_REQ_S = float(os.environ.get("SERVICE_BENCH_FLOOR_REQ_S", "0"))
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def perf_record():
+    record = {
+        "bench": "service",
+        "scenario": SCENARIO,
+        "phones": PHONES,
+        "connections": CONNECTIONS,
+        "shards": SHARDS,
+    }
+    manifest = RunManifest.begin(config=dict(record), seed=SEED)
+    yield record
+    record["manifest"] = manifest.finish().to_dict()
+    record["timestamp"] = time.time()
+    payload = json.dumps(record, indent=2, sort_keys=True)
+    path = os.environ.get("SERVICE_PERF_JSON")
+    if path:
+        with open(path, "w") as fh:
+            fh.write(payload + "\n")
+    print("\nSERVICE_PERF_RECORD " + payload)
+
+
+@pytest.fixture(scope="module")
+def trace(perf_record):
+    spec = make_scenario(SCENARIO, seed=SEED)
+    t0 = time.perf_counter()
+    built = generate_trace(spec, phones=PHONES)
+    perf_record["trace_build_s"] = time.perf_counter() - t0
+    perf_record["trace_requests"] = len(built.requests)
+    return built
+
+
+@pytest.fixture(scope="module")
+def tcp_port():
+    """The service on a daemon thread with its own loop, like a real
+    ``repro serve`` process; yields the bound ephemeral port."""
+    holder: dict = {}
+    ready = threading.Event()
+
+    def server_thread() -> None:
+        async def main() -> None:
+            app = build_app(city_name="gridport", seed=SEED, n_shards=SHARDS)
+            stop = asyncio.Event()
+            holder["loop"] = asyncio.get_running_loop()
+            holder["stop"] = stop
+
+            def on_ready(server) -> None:
+                holder["port"] = server.port
+                ready.set()
+
+            await run_service(
+                app, port=0, ready=on_ready, stop=stop,
+                install_signal_handlers=False,
+            )
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=server_thread, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=15), "service did not come up"
+    yield holder["port"]
+    holder["loop"].call_soon_threadsafe(holder["stop"].set)
+    thread.join(timeout=15)
+
+
+def _record(perf_record, prefix: str, report) -> None:
+    perf_record[f"{prefix}_requests"] = report.requests
+    perf_record[f"{prefix}_wall_s"] = report.wall_s
+    perf_record[f"{prefix}_req_per_s"] = report.req_per_s
+    perf_record[f"{prefix}_p50_s"] = report.p50_ms / 1e3
+    perf_record[f"{prefix}_p99_s"] = report.p99_ms / 1e3
+    perf_record[f"{prefix}_confirms"] = report.confirms
+    perf_record[f"{prefix}_errors"] = report.errors
+    perf_record[f"{prefix}_rejects"] = report.rejects
+
+
+def test_tcp_throughput(perf_record, trace, tcp_port):
+    """Closed-loop replay over real sockets: the headline number."""
+    report = asyncio.run(
+        run_loadgen(
+            trace,
+            lambda: ServiceClient("127.0.0.1", tcp_port),
+            connections=CONNECTIONS,
+        )
+    )
+    _record(perf_record, "tcp", report)
+    assert report.errors == 0, f"5xx responses: {report.status_counts}"
+    assert report.confirms > 0, "trace never exercised the push-confirm path"
+    if FLOOR_REQ_S:
+        assert report.req_per_s >= FLOOR_REQ_S, (
+            f"sustained {report.req_per_s:,.0f} req/s "
+            f"< floor {FLOOR_REQ_S:,.0f}"
+        )
+
+
+def test_inprocess_throughput(perf_record, trace):
+    """Same trace, no sockets: dispatch + sharded-store cost alone."""
+
+    async def run() -> object:
+        app = build_app(city_name="gridport", seed=SEED, n_shards=SHARDS)
+        await app.start()
+        try:
+            return await run_loadgen(
+                trace, lambda: InProcessClient(app), connections=CONNECTIONS
+            )
+        finally:
+            await app.close()
+
+    report = asyncio.run(run())
+    _record(perf_record, "inproc", report)
+    assert report.errors == 0, f"5xx responses: {report.status_counts}"

@@ -141,3 +141,8 @@ class Directory:
             if record is not None and (best is None or record.sequence > best.sequence):
                 best = record
         return best
+
+    def record_count(self) -> int:
+        """Total records stored across every rendezvous node (replicas
+        of one name count once per node holding them)."""
+        return sum(node.record_count() for node in self._nodes.values())

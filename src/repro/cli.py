@@ -209,6 +209,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
 
+    p = sub.add_parser(
+        "serve", help="run the always-on DFN service (postbox/geocast/directory)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787, help="0 = ephemeral")
+    p.add_argument("--city", default="gridport", help="city preset the service hosts")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=int, default=8, help="postbox store shards")
+    p.add_argument("--capacity", type=int, default=1024, help="messages per postbox")
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=4096,
+        help="per-shard queue depth before 503 backpressure",
+    )
+
+    p = sub.add_parser(
+        "loadgen", help="closed-loop load generator replaying a scenario timeline"
+    )
+    p.add_argument("name", choices=scenario_names(), help="scenario to replay")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--phones", type=int, default=200, help="simulated devices")
+    p.add_argument("--connections", type=int, default=32, help="closed-loop workers")
+    p.add_argument(
+        "--target",
+        default=None,
+        metavar="HOST:PORT",
+        help="a running 'repro serve' to hit over TCP (default: in-process)",
+    )
+    p.add_argument(
+        "--dump-trace",
+        default=None,
+        metavar="OUT.json",
+        help="write the deterministic trace JSON ('-' = stdout) and exit",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+
     p = sub.add_parser("bench", help="benchmark tooling")
     bench_sub = p.add_subparsers(dest="bench_command", required=True)
     cp = bench_sub.add_parser(
@@ -255,6 +292,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_bench(args)
     if args.command == "metro":
         return _run_metro(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "loadgen":
+        return _run_loadgen(args)
     seed = getattr(args, "seed", 0)
     trace = getattr(args, "trace", None)
     if trace:
@@ -370,6 +411,99 @@ def _run_metro(args: argparse.Namespace) -> int:
     width = max(len(k) for k in out)
     for k, v in out.items():
         print(f"{k:<{width}}  {v}")
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """``serve``: the always-on service, until SIGINT/SIGTERM."""
+    import asyncio as _asyncio
+
+    from .service import build_app, run_service
+
+    app = build_app(
+        city_name=args.city,
+        seed=args.seed,
+        n_shards=args.shards,
+        capacity=args.capacity,
+        queue_limit=args.queue_limit,
+    )
+
+    def ready(server) -> None:
+        print(
+            f"repro serve: {args.city} (seed {args.seed}) on "
+            f"http://{args.host}:{server.port} — {args.shards} shards, "
+            f"capacity {args.capacity}/box; Ctrl-C to stop",
+            flush=True,
+        )
+
+    try:
+        _asyncio.run(
+            run_service(app, host=args.host, port=args.port, ready=ready)
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_loadgen(args: argparse.Namespace) -> int:
+    """``loadgen``: deterministic trace generation + closed-loop replay."""
+    import asyncio as _asyncio
+    import json as _json
+
+    from .service import (
+        InProcessClient,
+        ServiceClient,
+        build_app,
+        format_report,
+        generate_trace,
+        run_loadgen,
+    )
+
+    spec = make_scenario(args.name, seed=args.seed)
+    trace = generate_trace(spec, phones=args.phones)
+    if args.dump_trace is not None:
+        rendered = trace.to_json(indent=2)
+        if args.dump_trace == "-":
+            print(rendered)
+        else:
+            with open(args.dump_trace, "w") as fh:
+                fh.write(rendered + "\n")
+            print(f"wrote {len(trace.requests)} trace requests to {args.dump_trace}")
+        return 0
+
+    async def replay():
+        if args.target:
+            host, _, port = args.target.rpartition(":")
+            factory = lambda: ServiceClient(host, int(port))  # noqa: E731
+            return await run_loadgen(trace, factory, connections=args.connections)
+        app = build_app(city_name=spec.world.city_name, seed=args.seed)
+        await app.start()
+        try:
+            return await run_loadgen(
+                trace, lambda: InProcessClient(app), connections=args.connections
+            )
+        finally:
+            await app.close()
+
+    report = _asyncio.run(replay())
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "scenario": spec.name,
+                    "city": spec.world.city_name,
+                    "seed": args.seed,
+                    "phones": args.phones,
+                    "trace_requests": len(trace.requests),
+                    "kind_counts": trace.kind_counts(),
+                    "report": report.to_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(format_report(report, trace))
     return 0
 
 

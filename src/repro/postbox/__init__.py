@@ -14,7 +14,7 @@ from .crypto import (
 from .message import MessageFormatError, OpenedMessage, open_message, seal
 from .names import NAME_BYTES, PostboxAddress, name_of, verify_name
 from .service import MessagingService, Participant, SendReport
-from .store import Postbox, PushPreferences, StoredMessage
+from .store import Postbox, PostboxFullError, PushPreferences, StoredMessage
 
 __all__ = [
     "KeyPair",
@@ -25,6 +25,7 @@ __all__ = [
     "Participant",
     "Postbox",
     "PostboxAddress",
+    "PostboxFullError",
     "PublicKey",
     "PushPreferences",
     "SendReport",

@@ -21,7 +21,7 @@ from .crypto import KeyPair
 from .message import OpenedMessage, open_message
 from .message import seal as seal_message
 from .names import PostboxAddress
-from .store import Postbox
+from .store import Postbox, PostboxFullError
 
 
 @dataclass
@@ -75,6 +75,14 @@ class MessagingService:
 
         The sender injects from an AP of their own building; delivery
         places the sealed bytes into the recipient's postbox.
+
+        Raises:
+            PostboxFullError: the broadcast reached the recipient's
+                postbox AP but the box was at capacity.  This is a
+                typed backpressure signal, not a routing failure — the
+                message was *not* silently dropped as a successful
+                send, and the caller should retry later or surface the
+                saturation to the sender.
         """
         sealed = seal_message(sender.keypair, recipient, plaintext, self.rng)
         src_aps = self.graph.aps_in_building(sender.address.building_id)
@@ -95,9 +103,13 @@ class MessagingService:
             self.rng,
         )
         if result.delivered:
-            recipient_postbox.deliver(
+            stored = recipient_postbox.deliver(
                 sealed, now_s=result.delivery_time_s or 0.0, urgent=urgent
             )
+            if not stored:
+                raise PostboxFullError(
+                    recipient_postbox.owner_name, recipient_postbox.capacity
+                )
         return SendReport(
             delivered=result.delivered,
             transmissions=result.transmissions,

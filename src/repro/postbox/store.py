@@ -4,6 +4,15 @@
 storage and forwarding and also handles message integrity checks and
 decryption", supports periodic retrieval, and can push urgent messages
 using cached location updates from the owner's device.
+
+Hot-path complexity matters here: the always-on service layer
+(:mod:`repro.service`) drives sustained send/check/confirm traffic
+through these boxes, so the pending set is an **id-keyed insertion-
+ordered map** — :meth:`Postbox.confirm_push` is an O(1) lookup instead
+of an identity scan, and :meth:`Postbox.expire` pops expired messages
+from the *front* of the map (arrivals are monotone in ``now_s``, so the
+front is always the oldest) instead of rebuilding the whole list on
+every delivery.
 """
 
 from __future__ import annotations
@@ -11,15 +20,45 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..geometry import Point
+from ..obs import REGISTRY
+
+#: Messages dropped by retention expiry, process-wide.
+_M_EXPIRED = REGISTRY.counter("postbox.store.expired")
+#: Deliveries rejected because the box was at capacity, process-wide.
+_M_FULL = REGISTRY.counter("postbox.store.full_rejections")
+
+
+class PostboxFullError(Exception):
+    """A delivery was rejected because the postbox is at capacity.
+
+    Raised by callers that must surface saturation as a typed
+    backpressure signal (the messaging service, the async service
+    layer) instead of a silent ``False``-and-drop.
+    """
+
+    def __init__(self, owner_name: str, capacity: int):
+        super().__init__(
+            f"postbox for {owner_name!r} is full ({capacity} pending messages)"
+        )
+        self.owner_name = owner_name
+        self.capacity = capacity
 
 
 @dataclass(frozen=True)
 class StoredMessage:
-    """One sealed message awaiting retrieval."""
+    """One sealed message awaiting retrieval.
+
+    ``msg_id`` is assigned by the receiving :class:`Postbox` (unique
+    within that box, monotone in arrival order); it is excluded from
+    equality so two copies of the same sealed bytes still compare the
+    way they always did, and it is what wire protocols use to confirm
+    a push without holding the object itself.
+    """
 
     sealed: bytes
     arrival_time_s: float
     urgent: bool = False
+    msg_id: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -42,12 +81,18 @@ class Postbox:
     integrity checking and decryption to the owner's device (which is
     what makes a compromised postbox AP a nuisance rather than a
     confidentiality breach).
+
+    Internally the pending set is ``msg_id -> StoredMessage`` in
+    insertion (= arrival) order.  All operations the service hot path
+    touches — deliver, check, confirm — are O(1) amortised; expiry is
+    O(dropped), not O(pending).
     """
 
     owner_name: str
     capacity: int = 1024
     retention_s: float = 7 * 24 * 3600.0
-    _messages: list[StoredMessage] = field(default_factory=list)
+    _pending: dict[int, StoredMessage] = field(default_factory=dict)
+    _next_id: int = 1
     _last_known_location: Point | None = None
     _last_check_time_s: float = 0.0
     preferences: PushPreferences = field(default_factory=PushPreferences)
@@ -68,14 +113,28 @@ class Postbox:
         copy.  The owner therefore sees each message exactly once on
         the success path and at least once always.
         """
+        return self.deliver_message(sealed, now_s, urgent=urgent) is not None
+
+    def deliver_message(
+        self, sealed: bytes, now_s: float, urgent: bool = False
+    ) -> StoredMessage | None:
+        """:meth:`deliver`, returning the stored message (None if full).
+
+        The service layer uses this form: the returned ``msg_id`` is
+        what a remote client later quotes to confirm a push.
+        """
         self.expire(now_s)
-        if len(self._messages) >= self.capacity:
-            return False
-        message = StoredMessage(sealed=sealed, arrival_time_s=now_s, urgent=urgent)
-        self._messages.append(message)
+        if len(self._pending) >= self.capacity:
+            _M_FULL.inc()
+            return None
+        message = StoredMessage(
+            sealed=sealed, arrival_time_s=now_s, urgent=urgent, msg_id=self._next_id
+        )
+        self._next_id += 1
+        self._pending[message.msg_id] = message
         if self._last_known_location is not None and self.preferences.wants_push(message):
             self.pushed.append(message)
-        return True
+        return message
 
     def check(self, now_s: float, location: Point) -> list[StoredMessage]:
         """Owner retrieval (§3 step 4): returns and clears pending
@@ -86,8 +145,8 @@ class Postbox:
         self.expire(now_s)
         self._last_known_location = location
         self._last_check_time_s = now_s
-        pending = self._messages
-        self._messages = []
+        pending = list(self._pending.values())
+        self._pending.clear()
         return pending
 
     def take_pushes(self) -> list[StoredMessage]:
@@ -109,27 +168,45 @@ class Postbox:
         next :meth:`check` does not deliver it a second time.  Returns
         False when the message was already retrieved or expired.
         """
-        for i, pending in enumerate(self._messages):
-            if pending is message:
-                del self._messages[i]
-                return True
+        if self._pending.get(message.msg_id) is message:
+            del self._pending[message.msg_id]
+            return True
         return False
+
+    def confirm_push_id(self, msg_id: int) -> bool:
+        """Confirm a push by its wire id (the service-layer path).
+
+        Same exactly-once contract as :meth:`confirm_push`, keyed by
+        ``msg_id`` because a remote client never holds the object.
+        """
+        return self._pending.pop(msg_id, None) is not None
 
     def pending_count(self) -> int:
         """Messages currently waiting."""
-        return len(self._messages)
+        return len(self._pending)
 
     def expire(self, now_s: float) -> int:
         """Drop messages older than the retention window.
 
+        Arrival times are monotone (every caller stamps ``now_s`` from
+        a forward-moving clock), so expired messages are always a
+        prefix of the insertion-ordered pending map: pop from the front
+        until the first fresh message and stop.
+
         Returns:
             The number of messages dropped.
         """
-        before = len(self._messages)
-        self._messages = [
-            m for m in self._messages if now_s - m.arrival_time_s <= self.retention_s
-        ]
-        return before - len(self._messages)
+        dropped = 0
+        cutoff = now_s - self.retention_s
+        while self._pending:
+            msg_id, message = next(iter(self._pending.items()))
+            if message.arrival_time_s >= cutoff:
+                break
+            del self._pending[msg_id]
+            dropped += 1
+        if dropped:
+            _M_EXPIRED.inc(dropped)
+        return dropped
 
     @property
     def last_known_location(self) -> Point | None:

@@ -1,0 +1,178 @@
+"""The geocast board: publish to a place, poll from a place.
+
+§1's "geospatial messaging" as a *service* primitive.  The simulation
+layer (:mod:`repro.apps.geocast`) answers "which buildings would a
+geocast broadcast reach through the mesh"; the service layer needs the
+application-facing half: a message addressed to a disc ("anyone near
+the shelter on 5th street") is stored on the board, and any device
+that polls from inside the disc while the message is live receives it.
+
+The board is a uniform grid index over disc bounding boxes — publish
+inserts the message id into every covered cell, poll checks one cell
+and does the exact distance test — so both operations are O(messages
+near the point), not O(all messages).  Expired messages are pruned
+lazily on the cells a poll touches and in bulk by :meth:`sweep`.
+
+The board is event-loop-local state (the service runs it inside one
+asyncio loop), so there is no locking; a full board rejects publishes
+with the typed :class:`GeocastBoardFullError` rather than evicting
+silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..obs import REGISTRY
+from .errors import BadRequestError, GeocastBoardFullError
+
+_M_PUBLISHED = REGISTRY.counter("service.geocast.published")
+_M_POLL_HITS = REGISTRY.counter("service.geocast.poll_hits")
+_M_EXPIRED = REGISTRY.counter("service.geocast.expired")
+
+#: Default message time-to-live (one epoch of a typical scenario).
+DEFAULT_TTL_S = 4 * 3600.0
+
+
+@dataclass(frozen=True)
+class GeocastMessage:
+    """One live geocast: a payload pinned to a disc for a while."""
+
+    geocast_id: int
+    x: float
+    y: float
+    radius: float
+    payload: bytes
+    posted_s: float
+    ttl_s: float
+
+    def covers(self, x: float, y: float) -> bool:
+        return (x - self.x) ** 2 + (y - self.y) ** 2 <= self.radius**2
+
+    def expired(self, now_s: float) -> bool:
+        return now_s - self.posted_s > self.ttl_s
+
+
+class GeocastBoard:
+    """Grid-indexed geocast storage with lazy expiry."""
+
+    def __init__(
+        self,
+        cell_size: float = 200.0,
+        max_radius: float = 2000.0,
+        max_messages: int = 100_000,
+    ):
+        if cell_size <= 0:
+            raise ValueError("cell size must be positive")
+        self.cell_size = cell_size
+        self.max_radius = max_radius
+        self.max_messages = max_messages
+        self._messages: dict[int, GeocastMessage] = {}
+        self._cells: dict[tuple[int, int], list[int]] = {}
+        self._next_id = 1
+
+    def _cell(self, x: float, y: float) -> tuple[int, int]:
+        return (int(x // self.cell_size), int(y // self.cell_size))
+
+    def _covered_cells(self, message: GeocastMessage) -> list[tuple[int, int]]:
+        r = message.radius
+        x0, y0 = self._cell(message.x - r, message.y - r)
+        x1, y1 = self._cell(message.x + r, message.y + r)
+        return [(cx, cy) for cx in range(x0, x1 + 1) for cy in range(y0, y1 + 1)]
+
+    def publish(
+        self,
+        x: float,
+        y: float,
+        radius: float,
+        payload: bytes,
+        now_s: float,
+        ttl_s: float = DEFAULT_TTL_S,
+    ) -> int:
+        """Pin a payload to the disc around ``(x, y)``; returns its id.
+
+        Raises:
+            BadRequestError: non-positive radius/TTL or a radius above
+                the board's cap (an unbounded radius would touch every
+                cell).
+            GeocastBoardFullError: the board is at its message cap.
+        """
+        if radius <= 0 or radius > self.max_radius:
+            raise BadRequestError(
+                f"geocast radius must be in (0, {self.max_radius:g}] m"
+            )
+        if ttl_s <= 0:
+            raise BadRequestError("geocast ttl must be positive")
+        if len(self._messages) >= self.max_messages:
+            self.sweep(now_s)  # a full board is often mostly stale
+            if len(self._messages) >= self.max_messages:
+                raise GeocastBoardFullError(
+                    f"board at capacity ({self.max_messages} live geocasts)"
+                )
+        message = GeocastMessage(
+            geocast_id=self._next_id,
+            x=x,
+            y=y,
+            radius=radius,
+            payload=payload,
+            posted_s=now_s,
+            ttl_s=ttl_s,
+        )
+        self._next_id += 1
+        self._messages[message.geocast_id] = message
+        for cell in self._covered_cells(message):
+            self._cells.setdefault(cell, []).append(message.geocast_id)
+        _M_PUBLISHED.inc()
+        return message.geocast_id
+
+    def poll(
+        self, x: float, y: float, now_s: float, limit: int = 50
+    ) -> list[GeocastMessage]:
+        """Live geocasts whose disc covers ``(x, y)``, oldest first.
+
+        Expired entries found in the touched cell are pruned in
+        passing, so hot cells stay tight without a global sweep.
+        """
+        cell = self._cells.get(self._cell(x, y))
+        if not cell:
+            return []
+        hits: list[GeocastMessage] = []
+        stale: list[int] = []
+        for geocast_id in cell:
+            message = self._messages.get(geocast_id)
+            if message is None or message.expired(now_s):
+                stale.append(geocast_id)
+                if message is not None:
+                    self._drop(message)
+                continue
+            if message.covers(x, y):
+                hits.append(message)
+        if stale:
+            stale_set = set(stale)
+            cell[:] = [g for g in cell if g not in stale_set]
+        hits.sort(key=lambda m: m.geocast_id)
+        _M_POLL_HITS.inc(len(hits[:limit]))
+        return hits[:limit]
+
+    def _drop(self, message: GeocastMessage) -> None:
+        self._messages.pop(message.geocast_id, None)
+        _M_EXPIRED.inc()
+
+    def sweep(self, now_s: float) -> int:
+        """Drop every expired message (and rebuild the cell index)."""
+        doomed = [m for m in self._messages.values() if m.expired(now_s)]
+        if not doomed:
+            return 0
+        for message in doomed:
+            self._messages.pop(message.geocast_id, None)
+        _M_EXPIRED.inc(len(doomed))
+        self._cells.clear()
+        for message in self._messages.values():
+            for cell in self._covered_cells(message):
+                self._cells.setdefault(cell, []).append(message.geocast_id)
+        return len(doomed)
+
+    def live_count(self) -> int:
+        """Messages currently on the board (stale entries included
+        until a poll or sweep prunes them)."""
+        return len(self._messages)

@@ -1,0 +1,327 @@
+"""HTTP/1.1 over asyncio streams, plus the WebSocket-style push stream.
+
+No web framework and no new dependencies: the server speaks just
+enough HTTP/1.1 for the service's JSON API — request line, headers,
+``Content-Length`` bodies, keep-alive — directly over
+``asyncio.start_server`` streams.  Parsing is two ``readuntil``/
+``readexactly`` calls per request, which is what lets a single stdlib
+event loop sustain thousands of requests per second.
+
+The exception is ``GET /v1/stream``: instead of one response the
+connection is upgraded to a long-lived, bidirectional NDJSON stream
+(the WebSocket idea without the framing): the server polls the owner's
+postbox push records and writes one JSON line per pushed message; the
+client writes ``{"confirm": <msg_id>}`` lines back, which drive the
+exactly-once :meth:`~repro.service.shards.ShardedPostboxStore.
+confirm_push` path.  An unconfirmed push stays pending in the store —
+at-least-once always, exactly once when the client answers.
+
+``DFNServer`` owns the listening socket and the connection set, and
+shuts down gracefully: stop accepting, let in-flight requests finish
+(bounded), cancel stream tasks, then drain the shard queues via
+``app.close()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from urllib.parse import parse_qs, urlsplit
+
+from ..obs import REGISTRY
+from .app import ServiceApp, _message_dict
+
+_M_CONNS = REGISTRY.counter("service.http.connections")
+_M_REQS = REGISTRY.counter("service.http.requests")
+_M_STREAMS = REGISTRY.counter("service.http.streams")
+_G_OPEN = REGISTRY.gauge("service.http.open_connections")
+
+#: Maximum header block size we will buffer for one request.
+MAX_HEADER_BYTES = 16 * 1024
+#: Maximum request body size (sealed payloads are small).
+MAX_BODY_BYTES = 1 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _response_bytes(status: int, payload: dict, keep_alive: bool) -> bytes:
+    body = json.dumps(payload, separators=(",", ":")).encode()
+    reason = _STATUS_TEXT.get(status, "OK")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n\r\n"
+    )
+    return head.encode() + body
+
+
+class DFNServer:
+    """The always-on DFN service: a ``ServiceApp`` behind TCP."""
+
+    def __init__(
+        self,
+        app: ServiceApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        push_poll_interval_s: float = 0.05,
+    ):
+        self.app = app
+        self.host = host
+        self.requested_port = port
+        self.push_poll_interval_s = push_poll_interval_s
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._stopped = asyncio.Event()
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (useful when constructed with port 0)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Start shard writers and begin accepting connections."""
+        await self.app.start()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.requested_port
+        )
+        self._stopped.clear()
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`close` is called from another task."""
+        await self._stopped.wait()
+
+    async def close(self, drain_timeout_s: float = 5.0) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight work,
+        cancel what will not finish, then drain the shard queues."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._connections:
+            done, pending = await asyncio.wait(
+                self._connections, timeout=drain_timeout_s
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self._connections.clear()
+        _G_OPEN.set(0)
+        await self.app.close()
+        self._stopped.set()
+
+    # -- connection handling -------------------------------------------
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.create_task(self._handle(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+        _M_CONNS.inc()
+        _G_OPEN.set(len(self._connections))
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    header_block = await reader.readuntil(b"\r\n\r\n")
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    BrokenPipeError,
+                ):
+                    return  # client went away between requests
+                except asyncio.LimitOverrunError:
+                    writer.write(
+                        _response_bytes(
+                            400, {"error": "bad_request", "detail": "headers too large"},
+                            keep_alive=False,
+                        )
+                    )
+                    return
+                if len(header_block) > MAX_HEADER_BYTES:
+                    writer.write(
+                        _response_bytes(
+                            400, {"error": "bad_request", "detail": "headers too large"},
+                            keep_alive=False,
+                        )
+                    )
+                    return
+                request = self._parse_head(header_block)
+                if request is None:
+                    writer.write(
+                        _response_bytes(
+                            400, {"error": "bad_request", "detail": "malformed request"},
+                            keep_alive=False,
+                        )
+                    )
+                    return
+                method, target, keep_alive, content_length = request
+                if content_length > MAX_BODY_BYTES:
+                    writer.write(
+                        _response_bytes(
+                            400, {"error": "bad_request", "detail": "body too large"},
+                            keep_alive=False,
+                        )
+                    )
+                    return
+                body = (
+                    await reader.readexactly(content_length)
+                    if content_length
+                    else b""
+                )
+                url = urlsplit(target)
+                _M_REQS.inc()
+                if method == "GET" and url.path == "/v1/stream":
+                    await self._handle_stream(url.query, reader, writer)
+                    return  # the stream consumes the connection
+                status, payload = await self.app.dispatch(method, url.path, body)
+                writer.write(_response_bytes(status, payload, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            return
+        except asyncio.CancelledError:
+            raise
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            _G_OPEN.set(max(0, len(self._connections) - 1))
+
+    @staticmethod
+    def _parse_head(
+        header_block: bytes,
+    ) -> tuple[str, str, bool, int] | None:
+        """Parse request line + headers → (method, target, keep_alive,
+        content_length); None on malformed input."""
+        try:
+            lines = header_block.decode("latin-1").split("\r\n")
+            method, target, version = lines[0].split(" ", 2)
+        except (UnicodeDecodeError, ValueError):
+            return None
+        keep_alive = version.strip().upper() != "HTTP/1.0"
+        content_length = 0
+        for line in lines[1:]:
+            if not line:
+                continue
+            key, sep, value = line.partition(":")
+            if not sep:
+                return None
+            key = key.strip().lower()
+            if key == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return None
+                if content_length < 0:
+                    return None
+            elif key == "connection":
+                token = value.strip().lower()
+                if token == "close":
+                    keep_alive = False
+                elif token == "keep-alive":
+                    keep_alive = True
+        return method.upper(), target, keep_alive, content_length
+
+    # -- the push stream ------------------------------------------------
+    async def _handle_stream(
+        self, query: str, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """``GET /v1/stream?owner=NAME``: long-lived NDJSON push channel.
+
+        Server → client: ``{"type": "push", "msg_id": …, "payload": …}``
+        per pushed message (urgent deliveries the owner opted into).
+        Client → server: ``{"confirm": <msg_id>}`` lines; each drives
+        the store's exactly-once confirm path and is acknowledged with
+        ``{"type": "confirmed", "msg_id": …, "ok": bool}``.
+        """
+        owner = None
+        for value in parse_qs(query).get("owner", []):
+            owner = value
+        if not owner:
+            writer.write(
+                _response_bytes(
+                    400, {"error": "bad_request", "detail": "stream needs ?owner="},
+                    keep_alive=False,
+                )
+            )
+            return
+        _M_STREAMS.inc()
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        writer.write(
+            json.dumps({"type": "hello", "owner": owner}).encode() + b"\n"
+        )
+        await writer.drain()
+        stop = asyncio.Event()
+
+        async def pusher() -> None:
+            while not stop.is_set():
+                pushes = await self.app.store.take_pushes(owner)
+                for message in pushes:
+                    event = {"type": "push", **_message_dict(message)}
+                    writer.write(json.dumps(event).encode() + b"\n")
+                if pushes:
+                    await writer.drain()
+                try:
+                    await asyncio.wait_for(
+                        stop.wait(), timeout=self.push_poll_interval_s
+                    )
+                except asyncio.TimeoutError:
+                    pass
+
+        async def confirmer() -> None:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break  # EOF: client hung up
+                try:
+                    event = json.loads(line)
+                    msg_id = event["confirm"]
+                except (ValueError, KeyError, TypeError):
+                    writer.write(
+                        json.dumps({"type": "error", "error": "bad_confirm"}).encode()
+                        + b"\n"
+                    )
+                    await writer.drain()
+                    continue
+                ok = await self.app.store.confirm_push(owner, int(msg_id))
+                writer.write(
+                    json.dumps(
+                        {"type": "confirmed", "msg_id": int(msg_id), "ok": ok}
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+
+        push_task = asyncio.create_task(pusher())
+        try:
+            await confirmer()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            stop.set()
+            await push_task
