@@ -24,8 +24,10 @@ existing ``repro`` stack.
 
 from .app import InProcessClient, ServiceApp
 from .client import PushStreamClient, ServiceClient
+from .cluster import ClusterConfig, ClusterSupervisor, home_worker
 from .errors import (
     BadRequestError,
+    ForwardOverloadedError,
     GeocastBoardFullError,
     NotFoundError,
     PostboxFullError,
@@ -43,14 +45,18 @@ from .loadgen import (
     format_report,
     generate_trace,
     run_loadgen,
+    run_loadgen_procs,
 )
 from .server import build_app, run_service
 from .shards import ShardedPostboxStore
 
 __all__ = [
     "BadRequestError",
+    "ClusterConfig",
+    "ClusterSupervisor",
     "DEFAULT_MIX",
     "DFNServer",
+    "ForwardOverloadedError",
     "GeocastBoard",
     "GeocastBoardFullError",
     "GeocastMessage",
@@ -70,6 +76,8 @@ __all__ = [
     "error_response",
     "format_report",
     "generate_trace",
+    "home_worker",
     "run_loadgen",
+    "run_loadgen_procs",
     "run_service",
 ]

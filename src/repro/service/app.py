@@ -121,6 +121,11 @@ class ServiceApp:
         self._epoch = time.time()
         self._instruments: dict[str, tuple] = {}
         self.started = False
+        #: Cluster identity: which worker this app instance is (0-based)
+        #: and how many exist.  The single-process service is the
+        #: degenerate one-worker cluster, so the defaults stay honest.
+        self.worker_index = 0
+        self.n_workers = 1
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
@@ -305,11 +310,17 @@ class ServiceApp:
     # -- health / stats ------------------------------------------------
     @_route("GET", "/v1/healthz", "healthz")
     async def _healthz(self, body: dict) -> dict:
-        return {"ok": True, "started": self.started}
+        return {
+            "ok": True,
+            "started": self.started,
+            "worker": self.worker_index,
+            "workers": self.n_workers,
+        }
 
     @_route("GET", "/v1/stats", "stats")
     async def _stats(self, body: dict) -> dict:
         return {
+            "worker": self.worker_index,
             "store": self.store.stats(),
             "geocast_live": self.board.live_count(),
             "directory_records": (
@@ -332,8 +343,15 @@ class InProcessClient:
         self.app = app
 
     async def request(
-        self, method: str, path: str, payload: dict | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        idempotent: bool = False,
     ) -> tuple[int, dict]:
+        # ``idempotent`` is transport parity with ServiceClient's
+        # retry-once policy; in-process calls cannot hit a keep-alive
+        # race, so there is nothing to retry.
         body = b"" if payload is None else json.dumps(payload).encode()
         return await self.app.dispatch(method, path, body)
 

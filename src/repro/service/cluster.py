@@ -1,0 +1,676 @@
+"""Multi-core service scale-out: N worker processes, one service.
+
+``repro serve --workers N`` runs the :class:`ClusterSupervisor`: a
+parent process that binds N ``SO_REUSEPORT`` listening sockets on one
+port, forks N OS worker processes (one per core) each running the
+existing :class:`~repro.service.app.ServiceApp` event loop, and waits.
+The kernel load-balances accepts across the workers; on platforms
+without ``SO_REUSEPORT`` the parent accepts itself and hands fds to
+workers round-robin over ``socket.send_fds`` channels.
+
+The PR 8 correctness invariant — **one writer per postbox shard** —
+survives the fan-out by making shard ownership *worker-affine*: the
+same ``blake2b(owner)`` hash that picks a postbox shard also picks the
+owner's **home worker** (:func:`home_worker`), and every owner's boxes
+live only on that worker's store.  A request that the kernel lands on
+the wrong worker takes one hop over the pre-fork ``socketpair`` mesh
+(:mod:`repro.service.ipc`) to the home worker and back; the load
+generator's owner-hash connection partitioning makes the common case
+zero-hop.  Forward-window overflow is a typed 503
+(:class:`~repro.service.errors.ForwardOverloadedError`), mirroring the
+shard queues.
+
+World state that is not owner-keyed replicates instead of forwarding:
+geocast publishes apply locally (ids strided per worker so concurrent
+acceptors never collide) and broadcast the replica to every peer;
+directory publishes broadcast the original signed record (validation
+is deterministic, so every worker stores the same thing); polls and
+lookups then stay worker-local — reads scale with cores.
+
+Push wakes cross workers too: a ``/v1/stream`` landing away from the
+owner's home registers a ``watch`` with the home worker, whose shard
+writer fans delivery wakes back out as ``wake`` frames — push latency
+stays O(delivery) wherever the kernel routed the stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import contextlib
+import hashlib
+import json
+import multiprocessing
+import os
+import signal
+import socket as socket_module
+import threading
+from dataclasses import dataclass
+
+from ..city import City, make_city
+from ..obs import REGISTRY
+from .app import ServiceApp
+from .errors import ForwardOverloadedError, error_response
+from .geoboard import GeocastBoard, GeocastMessage
+from .http import DEFAULT_PUSH_FALLBACK_S, DFNServer, LocalPushGateway
+from .ipc import PeerLink
+
+_M_FORWARDED = REGISTRY.counter("service.cluster.forwarded")
+_M_LOCAL = REGISTRY.counter("service.cluster.local")
+_M_FORWARD_REJECTS = REGISTRY.counter("service.cluster.forward_rejects")
+_M_REPLICA_FAILURES = REGISTRY.counter("service.cluster.replica_failures")
+_M_REMOTE_WAKES = REGISTRY.counter("service.cluster.remote_wakes")
+
+#: Environment knob: force the fd-passing accept path even where
+#: ``SO_REUSEPORT`` exists (exercised by tests and CI).
+FORCE_FDPASS_ENV = "REPRO_CLUSTER_FORCE_FDPASS"
+
+#: Owner-keyed endpoints that must execute on the owner's home worker.
+_OWNER_PATHS = frozenset(
+    {
+        "/v1/postbox/send",
+        "/v1/postbox/check",
+        "/v1/postbox/pushes",
+        "/v1/postbox/confirm",
+    }
+)
+
+
+def home_worker(owner: str, n_workers: int) -> int:
+    """The worker an owner's postboxes live on.
+
+    Deliberately the same digest as
+    :meth:`~repro.service.shards.ShardedPostboxStore.shard_index`: one
+    hash decides both the shard within a store and the store within
+    the cluster, so affinity layers compose instead of fighting.
+    """
+    digest = hashlib.blake2b(owner.encode(), digest_size=4).digest()
+    return int.from_bytes(digest, "big") % n_workers
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything a worker needs to build its service world."""
+
+    n_workers: int
+    city_name: str = "gridport"
+    seed: int = 0
+    n_shards: int = 8
+    capacity: int = 1024
+    queue_limit: int = 4096
+    push_poll_interval_s: float = DEFAULT_PUSH_FALLBACK_S
+
+
+def _geocast_wire(message: GeocastMessage) -> dict:
+    return {
+        "geocast_id": message.geocast_id,
+        "x": message.x,
+        "y": message.y,
+        "radius": message.radius,
+        "payload": base64.b64encode(message.payload).decode("ascii"),
+        "posted_s": message.posted_s,
+        "ttl_s": message.ttl_s,
+    }
+
+
+def _geocast_from_wire(wire: dict) -> GeocastMessage:
+    return GeocastMessage(
+        geocast_id=int(wire["geocast_id"]),
+        x=float(wire["x"]),
+        y=float(wire["y"]),
+        radius=float(wire["radius"]),
+        payload=base64.b64decode(wire["payload"]),
+        posted_s=float(wire["posted_s"]),
+        ttl_s=float(wire["ttl_s"]),
+    )
+
+
+class ClusterWorker:
+    """One worker's routing brain: local, forward, or replicate.
+
+    Wraps the worker's :class:`ServiceApp` with the owner-affinity
+    policy; its :meth:`dispatch` is injected into the worker's
+    :class:`~repro.service.http.DFNServer`, and :meth:`handle_frame`
+    serves the peer links.
+    """
+
+    def __init__(self, app: ServiceApp, index: int, n_workers: int):
+        self.app = app
+        self.index = index
+        self.n_workers = n_workers
+        self.links: dict[int, PeerLink] = {}
+        self.gateway: ClusterPushGateway | None = None
+
+    def post(self, peer: int, frame: dict) -> None:
+        link = self.links.get(peer)
+        if link is not None:
+            link.post(frame)
+
+    async def forward_request(
+        self, peer: int, method: str, path: str, body: dict
+    ) -> tuple[int, dict]:
+        """One hop to the home worker; raises on window overflow."""
+        link = self.links.get(peer)
+        if link is None:
+            raise ForwardOverloadedError(peer, 0)
+        res = await link.request(
+            {"t": "req", "method": method, "path": path, "body": body}
+        )
+        _M_FORWARDED.inc()
+        return int(res["status"]), res["payload"]
+
+    async def dispatch(
+        self, method: str, path: str, body: bytes | dict | None
+    ) -> tuple[int, dict]:
+        """The worker's request router (the DFNServer dispatch hook)."""
+        if method == "POST" and path in _OWNER_PATHS:
+            if isinstance(body, (bytes, bytearray)):
+                try:
+                    body = json.loads(body) if body else {}
+                except (ValueError, UnicodeDecodeError):
+                    # Let the app produce its canonical 400.
+                    return await self.app.dispatch(method, path, body)
+            if isinstance(body, dict):
+                owner = body.get("owner")
+                if isinstance(owner, str) and owner:
+                    home = home_worker(owner, self.n_workers)
+                    if home != self.index:
+                        try:
+                            return await self.forward_request(
+                                home, method, path, body
+                            )
+                        except ForwardOverloadedError as exc:
+                            _M_FORWARD_REJECTS.inc()
+                            return error_response(exc)
+            _M_LOCAL.inc()
+            return await self.app.dispatch(method, path, body)
+        if method == "POST" and path == "/v1/geocast/publish":
+            status, payload = await self.app.dispatch(method, path, body)
+            if status == 200:
+                message = self.app.board.get(payload["geocast_id"])
+                if message is not None:
+                    await self._replicate(
+                        {"t": "geocast", "message": _geocast_wire(message)}
+                    )
+            return status, payload
+        if method == "POST" and path == "/v1/directory/publish":
+            status, payload = await self.app.dispatch(method, path, body)
+            if status == 200:
+                if isinstance(body, (bytes, bytearray)):
+                    body = json.loads(body)
+                await self._replicate({"t": "dir", "body": body})
+            return status, payload
+        return await self.app.dispatch(method, path, body)
+
+    async def _replicate(self, frame: dict) -> None:
+        """Broadcast a replica frame to every peer and await the acks.
+
+        Awaiting gives read-your-writes across workers for the replay
+        traces; a dead or saturated peer is counted, not fatal — the
+        accepting worker already holds the authoritative copy.
+        """
+        if not self.links:
+            return
+        results = await asyncio.gather(
+            *(link.request(dict(frame)) for link in self.links.values()),
+            return_exceptions=True,
+        )
+        failures = sum(1 for r in results if isinstance(r, Exception))
+        if failures:
+            _M_REPLICA_FAILURES.inc(failures)
+
+    async def handle_frame(self, frame: dict) -> dict | None:
+        """Serve one incoming peer frame (strictly locally: a forwarded
+        request is already at its home and must not hop again)."""
+        kind = frame.get("t")
+        if kind == "req":
+            status, payload = await self.app.dispatch(
+                frame["method"], frame["path"], frame["body"]
+            )
+            return {"status": status, "payload": payload}
+        if kind == "watch":
+            assert self.gateway is not None
+            self.gateway.add_remote_watch(frame["owner"], int(frame["peer"]))
+            return {}
+        if kind == "unwatch":
+            assert self.gateway is not None
+            self.gateway.drop_remote_watch(frame["owner"], int(frame["peer"]))
+            return None
+        if kind == "wake":
+            assert self.gateway is not None
+            _M_REMOTE_WAKES.inc()
+            self.gateway.wake_local(frame["owner"])
+            return None
+        if kind == "geocast":
+            self.app.board.apply(_geocast_from_wire(frame["message"]))
+            return {}
+        if kind == "dir":
+            await self.app.dispatch("POST", "/v1/directory/publish", frame["body"])
+            return {}
+        return {"error": "unknown_frame"}
+
+
+class ClusterPushGateway(LocalPushGateway):
+    """Cross-worker push plumbing behind the stream handler.
+
+    Same surface as :class:`LocalPushGateway`; the difference is what
+    happens when the stream's owner is homed elsewhere: take/confirm
+    hop to the home worker over the link, and a ``watch`` registration
+    makes the home worker's delivery hook send ``wake`` frames back.
+    """
+
+    def __init__(self, app: ServiceApp, worker: ClusterWorker):
+        super().__init__(app)
+        self.worker = worker
+        # Home-worker side: owner → peers that have live streams there.
+        self._remote_watchers: dict[str, set[int]] = {}
+        # Stream side: owner → refcount of local streams watching a
+        # remote home (the watch frame is sent once per owner).
+        self._watch_refs: dict[str, int] = {}
+
+    def _home(self, owner: str) -> int:
+        return home_worker(owner, self.worker.n_workers)
+
+    # -- home-worker side ----------------------------------------------
+    def wake(self, owner: str) -> None:
+        """Delivery hook: wake local streams, then remote watchers."""
+        super().wake(owner)
+        watchers = self._remote_watchers.get(owner)
+        if watchers:
+            for peer in watchers:
+                self.worker.post(peer, {"t": "wake", "owner": owner})
+
+    def wake_local(self, owner: str) -> None:
+        """An incoming ``wake`` frame: local events only, no re-fanout."""
+        super().wake(owner)
+
+    def add_remote_watch(self, owner: str, peer: int) -> None:
+        self._remote_watchers.setdefault(owner, set()).add(peer)
+
+    def drop_remote_watch(self, owner: str, peer: int) -> None:
+        watchers = self._remote_watchers.get(owner)
+        if watchers is not None:
+            watchers.discard(peer)
+            if not watchers:
+                del self._remote_watchers[owner]
+
+    # -- stream side ----------------------------------------------------
+    async def register(self, owner: str) -> asyncio.Event:
+        home = self._home(owner)
+        if home != self.worker.index:
+            refs = self._watch_refs.get(owner, 0)
+            self._watch_refs[owner] = refs + 1
+            if refs == 0:
+                # Ack'd before the stream's first take_pushes, so a
+                # delivery can never slip between them unwatched; if
+                # the link is saturated the stream degrades to the
+                # safety-net timeout instead of failing.
+                with contextlib.suppress(ForwardOverloadedError):
+                    await self.worker.links[home].request(
+                        {"t": "watch", "owner": owner, "peer": self.worker.index}
+                    )
+        return await super().register(owner)
+
+    async def unregister(self, owner: str, event: asyncio.Event) -> None:
+        await super().unregister(owner, event)
+        home = self._home(owner)
+        if home != self.worker.index:
+            refs = self._watch_refs.get(owner, 0) - 1
+            if refs > 0:
+                self._watch_refs[owner] = refs
+            else:
+                self._watch_refs.pop(owner, None)
+                self.worker.post(
+                    home,
+                    {"t": "unwatch", "owner": owner, "peer": self.worker.index},
+                )
+
+    async def take_pushes(self, owner: str) -> list[dict]:
+        home = self._home(owner)
+        if home == self.worker.index:
+            return await super().take_pushes(owner)
+        try:
+            status, payload = await self.worker.forward_request(
+                home, "POST", "/v1/postbox/pushes", {"owner": owner}
+            )
+        except ForwardOverloadedError:
+            return []  # degrade to the safety-net retry, don't kill the stream
+        if status != 200:
+            return []
+        return list(payload.get("pushes", ()))
+
+    async def confirm(self, owner: str, msg_id: int) -> bool:
+        home = self._home(owner)
+        if home == self.worker.index:
+            return await super().confirm(owner, msg_id)
+        try:
+            status, payload = await self.worker.forward_request(
+                home,
+                "POST",
+                "/v1/postbox/confirm",
+                {"owner": owner, "msg_id": msg_id},
+            )
+        except ForwardOverloadedError:
+            return False
+        return status == 200 and bool(payload.get("confirmed"))
+
+
+# ---------------------------------------------------------------------------
+# worker process
+
+
+def _close_all(socks) -> None:
+    for sock in socks:
+        with contextlib.suppress(OSError):
+            sock.close()
+
+
+def _worker_entry(
+    index: int,
+    config: ClusterConfig,
+    city: City,
+    listen_socks: list[socket_module.socket] | None,
+    fd_child_ends: list[socket_module.socket] | None,
+    fd_parent_ends: list[socket_module.socket] | None,
+    parent_listener: socket_module.socket | None,
+    pairs: dict[int, dict[int, socket_module.socket]],
+) -> None:
+    """Child-process entry: shed inherited fds, run one worker loop."""
+    # Fork inherits every socket; keep only this worker's ends so peer
+    # EOFs and the parent's listener behave.
+    keep: set[int] = set()
+    my_listener = None
+    if listen_socks is not None:
+        my_listener = listen_socks[index]
+        keep.add(my_listener.fileno())
+        _close_all(s for s in listen_socks if s.fileno() not in keep)
+    my_fd_chan = None
+    if fd_child_ends is not None:
+        my_fd_chan = fd_child_ends[index]
+        keep.add(my_fd_chan.fileno())
+        _close_all(s for s in fd_child_ends if s.fileno() not in keep)
+    if fd_parent_ends is not None:
+        _close_all(fd_parent_ends)
+    if parent_listener is not None:
+        with contextlib.suppress(OSError):
+            parent_listener.close()
+    my_pairs = pairs[index]
+    for other, mapping in pairs.items():
+        if other != index:
+            _close_all(mapping.values())
+    asyncio.run(
+        _worker_async(index, config, city, my_listener, my_fd_chan, my_pairs)
+    )
+
+
+async def _worker_async(
+    index: int,
+    config: ClusterConfig,
+    city: City,
+    listener: socket_module.socket | None,
+    fd_chan: socket_module.socket | None,
+    my_pairs: dict[int, socket_module.socket],
+) -> None:
+    app = ServiceApp(
+        city=city,
+        n_shards=config.n_shards,
+        capacity=config.capacity,
+        queue_limit=config.queue_limit,
+        board=GeocastBoard(id_start=index + 1, id_stride=config.n_workers),
+    )
+    app.worker_index = index
+    app.n_workers = config.n_workers
+    worker = ClusterWorker(app, index, config.n_workers)
+    for peer, sock in my_pairs.items():
+        link = PeerLink(peer, sock, worker.handle_frame)
+        await link.start()
+        worker.links[peer] = link
+    gateway = ClusterPushGateway(app, worker)
+    worker.gateway = gateway
+    server = DFNServer(
+        app,
+        push_poll_interval_s=config.push_poll_interval_s,
+        sock=listener,
+        dispatch=worker.dispatch,
+        gateway=gateway,
+        accept_connections=listener is not None,
+    )
+    await server.start()
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed: list[int] = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, ValueError, RuntimeError):
+            loop.add_signal_handler(signum, stop.set)
+            installed.append(signum)
+
+    if fd_chan is not None:
+        fd_chan.setblocking(False)
+
+        def on_handoff() -> None:
+            while True:
+                try:
+                    msg, fds, _, _ = socket_module.recv_fds(fd_chan, 16, 8)
+                except (BlockingIOError, InterruptedError):
+                    return
+                except OSError:
+                    loop.remove_reader(fd_chan.fileno())
+                    return
+                if not msg and not fds:
+                    loop.remove_reader(fd_chan.fileno())
+                    return
+                for fd in fds:
+                    conn = socket_module.socket(fileno=fd)
+                    loop.create_task(server.adopt_connection(conn))
+
+        loop.add_reader(fd_chan.fileno(), on_handoff)
+
+    try:
+        await stop.wait()
+    finally:
+        for signum in installed:
+            with contextlib.suppress(Exception):
+                loop.remove_signal_handler(signum)
+        if fd_chan is not None:
+            with contextlib.suppress(Exception):
+                loop.remove_reader(fd_chan.fileno())
+            with contextlib.suppress(OSError):
+                fd_chan.close()
+        await server.close()
+        for link in worker.links.values():
+            await link.close()
+
+
+# ---------------------------------------------------------------------------
+# the supervisor (parent process)
+
+
+def reuseport_available() -> bool:
+    return hasattr(socket_module, "SO_REUSEPORT")
+
+
+class ClusterSupervisor:
+    """Bind, fork, supervise: the parent side of ``serve --workers N``.
+
+    Synchronous by design — the parent does no request work.  Usage::
+
+        sup = ClusterSupervisor(ClusterConfig(n_workers=4), port=0)
+        sup.start()            # sockets bound, workers forked
+        ... traffic against sup.port ...
+        sup.stop()             # SIGTERM to workers → graceful drains
+        exit_code = sup.wait()
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        force_fdpass: bool | None = None,
+    ):
+        if config.n_workers < 2:
+            raise ValueError(
+                "the cluster needs >= 2 workers; run the plain server for 1"
+            )
+        if not hasattr(os, "fork"):
+            raise RuntimeError("cluster mode needs a fork-capable platform")
+        self.config = config
+        self.host = host
+        self.requested_port = port
+        if force_fdpass is None:
+            force_fdpass = os.environ.get(FORCE_FDPASS_ENV, "") not in ("", "0")
+        self.fdpass = force_fdpass or not reuseport_available()
+        self._listen_socks: list[socket_module.socket] | None = None
+        self._parent_listener: socket_module.socket | None = None
+        self._fd_parent_ends: list[socket_module.socket] | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._processes: list[multiprocessing.process.BaseProcess] = []
+        self._port: int | None = None
+        self._stopping = False
+
+    @property
+    def port(self) -> int:
+        if self._port is None:
+            raise RuntimeError("supervisor is not started")
+        return self._port
+
+    def _bind(self, reuseport: bool) -> socket_module.socket:
+        sock = socket_module.socket(
+            socket_module.AF_INET, socket_module.SOCK_STREAM
+        )
+        sock.setsockopt(
+            socket_module.SOL_SOCKET, socket_module.SO_REUSEADDR, 1
+        )
+        if reuseport:
+            sock.setsockopt(
+                socket_module.SOL_SOCKET, socket_module.SO_REUSEPORT, 1
+            )
+        sock.bind((self.host, self._port or self.requested_port))
+        sock.listen(512)
+        if self._port is None:
+            self._port = sock.getsockname()[1]
+        return sock
+
+    def start(self) -> None:
+        """Bind the port, build the link mesh, fork the workers."""
+        n = self.config.n_workers
+        listen_socks: list[socket_module.socket] | None = None
+        fd_child_ends: list[socket_module.socket] | None = None
+        if self.fdpass:
+            self._parent_listener = self._bind(reuseport=False)
+            fd_child_ends = []
+            self._fd_parent_ends = []
+            for _ in range(n):
+                parent_end, child_end = socket_module.socketpair()
+                self._fd_parent_ends.append(parent_end)
+                fd_child_ends.append(child_end)
+        else:
+            listen_socks = [self._bind(reuseport=True) for _ in range(n)]
+            self._listen_socks = listen_socks
+        pairs: dict[int, dict[int, socket_module.socket]] = {
+            i: {} for i in range(n)
+        }
+        for i in range(n):
+            for j in range(i + 1, n):
+                end_i, end_j = socket_module.socketpair()
+                pairs[i][j] = end_i
+                pairs[j][i] = end_j
+        city = make_city(self.config.city_name, seed=self.config.seed)
+
+        ctx = multiprocessing.get_context("fork")
+        for index in range(n):
+            process = ctx.Process(
+                target=_worker_entry,
+                args=(
+                    index,
+                    self.config,
+                    city,
+                    listen_socks,
+                    fd_child_ends,
+                    self._fd_parent_ends,
+                    self._parent_listener,
+                    pairs,
+                ),
+                name=f"dfn-worker-{index}",
+                daemon=True,  # parent death must never orphan workers
+            )
+            process.start()
+            self._processes.append(process)
+
+        # The children hold their inherited copies; drop the parent's.
+        for mapping in pairs.values():
+            _close_all(mapping.values())
+        if listen_socks is not None:
+            _close_all(listen_socks)
+            self._listen_socks = None
+        if fd_child_ends is not None:
+            _close_all(fd_child_ends)
+        if self.fdpass:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="dfn-acceptor", daemon=True
+            )
+            self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        """fd-passing mode: parent accepts, workers serve (round-robin)."""
+        assert self._parent_listener is not None
+        assert self._fd_parent_ends is not None
+        turn = 0
+        while True:
+            try:
+                conn, _ = self._parent_listener.accept()
+            except OSError:
+                return  # listener closed: shutting down
+            chan = self._fd_parent_ends[turn % len(self._fd_parent_ends)]
+            turn += 1
+            try:
+                socket_module.send_fds(chan, [b"f"], [conn.fileno()])
+            except OSError:
+                pass  # worker died; the client sees a reset and retries
+            conn.close()
+
+    def stop(self, sig: int = signal.SIGTERM) -> None:
+        """Begin shutdown: stop accepting, signal every worker."""
+        self._stopping = True
+        if self._parent_listener is not None:
+            with contextlib.suppress(OSError):
+                self._parent_listener.close()
+        for process in self._processes:
+            if process.pid is not None and process.is_alive():
+                with contextlib.suppress(ProcessLookupError, OSError):
+                    os.kill(process.pid, sig)
+
+    def wait(self, timeout: float | None = None) -> int:
+        """Join the workers; the cluster's exit code is the worst one."""
+        worst = 0
+        for process in self._processes:
+            process.join(timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(5.0)
+                worst = max(worst, 1)
+            else:
+                worst = max(worst, abs(process.exitcode or 0))
+        if self._accept_thread is not None:
+            self._accept_thread.join(5.0)
+            self._accept_thread = None
+        if self._fd_parent_ends is not None:
+            _close_all(self._fd_parent_ends)
+            self._fd_parent_ends = None
+        return worst
+
+    def serve(self) -> int:
+        """CLI mode: forward SIGINT/SIGTERM to the workers, then join."""
+        def relay(signum, frame) -> None:  # noqa: ARG001 (signal ABI)
+            self.stop(signal.SIGTERM)
+
+        previous = {
+            signum: signal.signal(signum, relay)
+            for signum in (signal.SIGINT, signal.SIGTERM)
+        }
+        try:
+            return self.wait()
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)

@@ -10,17 +10,29 @@ that polls from inside the disc while the message is live receives it.
 The board is a uniform grid index over disc bounding boxes — publish
 inserts the message id into every covered cell, poll checks one cell
 and does the exact distance test — so both operations are O(messages
-near the point), not O(all messages).  Expired messages are pruned
-lazily on the cells a poll touches and in bulk by :meth:`sweep`.
+near the point), not O(all messages).
+
+Expiry mirrors the PR 8 ``Postbox`` pending-map refactor: instead of a
+full-board rescan-and-rebuild, live messages sit in an expiry-ordered
+heap and :meth:`sweep` pops the expired *prefix* — O(dropped · log n),
+never O(live).  Each drop removes the id from exactly the cells its
+disc covered, so the index shrinks with the board instead of waiting
+for a rebuild.  The ``geoboard.scan`` / ``geoboard.expired`` counters
+record how much work each sweep did.
 
 The board is event-loop-local state (the service runs it inside one
 asyncio loop), so there is no locking; a full board rejects publishes
 with the typed :class:`GeocastBoardFullError` rather than evicting
-silently.
+silently.  In a multi-worker cluster each worker keeps a full replica
+of the board (publishes are broadcast, polls stay local): ids are then
+allocated on a per-worker stride (``id_start``/``id_stride``) so two
+workers can accept publishes concurrently without ever colliding, and
+:meth:`apply` inserts an already-allocated replica verbatim.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 from ..obs import REGISTRY
@@ -28,7 +40,10 @@ from .errors import BadRequestError, GeocastBoardFullError
 
 _M_PUBLISHED = REGISTRY.counter("service.geocast.published")
 _M_POLL_HITS = REGISTRY.counter("service.geocast.poll_hits")
-_M_EXPIRED = REGISTRY.counter("service.geocast.expired")
+#: Messages dropped because their TTL ran out (sweep or lazy poll prune).
+_M_EXPIRED = REGISTRY.counter("geoboard.expired")
+#: Heap entries examined by sweeps (the bounded-scan work counter).
+_M_SCAN = REGISTRY.counter("geoboard.scan")
 
 #: Default message time-to-live (one epoch of a typical scenario).
 DEFAULT_TTL_S = 4 * 3600.0
@@ -54,22 +69,30 @@ class GeocastMessage:
 
 
 class GeocastBoard:
-    """Grid-indexed geocast storage with lazy expiry."""
+    """Grid-indexed geocast storage with expiry-ordered lazy sweeps."""
 
     def __init__(
         self,
         cell_size: float = 200.0,
         max_radius: float = 2000.0,
         max_messages: int = 100_000,
+        id_start: int = 1,
+        id_stride: int = 1,
     ):
         if cell_size <= 0:
             raise ValueError("cell size must be positive")
+        if id_start < 1 or id_stride < 1:
+            raise ValueError("id allocation must start at >= 1 with stride >= 1")
         self.cell_size = cell_size
         self.max_radius = max_radius
         self.max_messages = max_messages
+        self.id_stride = id_stride
         self._messages: dict[int, GeocastMessage] = {}
         self._cells: dict[tuple[int, int], list[int]] = {}
-        self._next_id = 1
+        # Expiry-ordered heap of (expires_s, geocast_id); entries whose
+        # id already left ``_messages`` (lazy poll prune) are skipped.
+        self._expiry: list[tuple[float, int]] = []
+        self._next_id = id_start
 
     def _cell(self, x: float, y: float) -> tuple[int, int]:
         return (int(x // self.cell_size), int(y // self.cell_size))
@@ -79,6 +102,22 @@ class GeocastBoard:
         x0, y0 = self._cell(message.x - r, message.y - r)
         x1, y1 = self._cell(message.x + r, message.y + r)
         return [(cx, cy) for cx in range(x0, x1 + 1) for cy in range(y0, y1 + 1)]
+
+    def _validate(self, radius: float, ttl_s: float) -> None:
+        if radius <= 0 or radius > self.max_radius:
+            raise BadRequestError(
+                f"geocast radius must be in (0, {self.max_radius:g}] m"
+            )
+        if ttl_s <= 0:
+            raise BadRequestError("geocast ttl must be positive")
+
+    def _insert(self, message: GeocastMessage) -> None:
+        self._messages[message.geocast_id] = message
+        for cell in self._covered_cells(message):
+            self._cells.setdefault(cell, []).append(message.geocast_id)
+        heapq.heappush(
+            self._expiry, (message.posted_s + message.ttl_s, message.geocast_id)
+        )
 
     def publish(
         self,
@@ -95,14 +134,12 @@ class GeocastBoard:
             BadRequestError: non-positive radius/TTL or a radius above
                 the board's cap (an unbounded radius would touch every
                 cell).
-            GeocastBoardFullError: the board is at its message cap.
+            GeocastBoardFullError: the board is at its message cap
+                *after* sweeping the expired prefix — a board full of
+                stale messages clears itself on the next publish, no
+                poll traffic required.
         """
-        if radius <= 0 or radius > self.max_radius:
-            raise BadRequestError(
-                f"geocast radius must be in (0, {self.max_radius:g}] m"
-            )
-        if ttl_s <= 0:
-            raise BadRequestError("geocast ttl must be positive")
+        self._validate(radius, ttl_s)
         if len(self._messages) >= self.max_messages:
             self.sweep(now_s)  # a full board is often mostly stale
             if len(self._messages) >= self.max_messages:
@@ -118,12 +155,27 @@ class GeocastBoard:
             posted_s=now_s,
             ttl_s=ttl_s,
         )
-        self._next_id += 1
-        self._messages[message.geocast_id] = message
-        for cell in self._covered_cells(message):
-            self._cells.setdefault(cell, []).append(message.geocast_id)
+        self._next_id += self.id_stride
+        self._insert(message)
         _M_PUBLISHED.inc()
         return message.geocast_id
+
+    def apply(self, message: GeocastMessage) -> None:
+        """Insert a replica published on another worker, verbatim.
+
+        The id was allocated by the accepting worker's stride, so it
+        can never collide with this board's own allocations.  Replicas
+        bypass the capacity check — every board in a cluster must hold
+        the same message set, and the acceptor already enforced the cap.
+        """
+        if message.geocast_id in self._messages:
+            return  # duplicate broadcast frame: idempotent
+        self._insert(message)
+
+    def get(self, geocast_id: int) -> GeocastMessage | None:
+        """The live message with this id, if any (cluster replication
+        reads the freshly published message back to broadcast it)."""
+        return self._messages.get(geocast_id)
 
     def poll(
         self, x: float, y: float, now_s: float, limit: int = 50
@@ -131,46 +183,63 @@ class GeocastBoard:
         """Live geocasts whose disc covers ``(x, y)``, oldest first.
 
         Expired entries found in the touched cell are pruned in
-        passing, so hot cells stay tight without a global sweep.
+        passing, so hot cells stay tight between sweeps.
         """
         cell = self._cells.get(self._cell(x, y))
         if not cell:
             return []
         hits: list[GeocastMessage] = []
         stale: list[int] = []
+        dropped = 0
         for geocast_id in cell:
             message = self._messages.get(geocast_id)
             if message is None or message.expired(now_s):
                 stale.append(geocast_id)
                 if message is not None:
-                    self._drop(message)
+                    self._messages.pop(geocast_id, None)
+                    dropped += 1
                 continue
             if message.covers(x, y):
                 hits.append(message)
         if stale:
             stale_set = set(stale)
             cell[:] = [g for g in cell if g not in stale_set]
+        if dropped:
+            _M_EXPIRED.inc(dropped)
         hits.sort(key=lambda m: m.geocast_id)
         _M_POLL_HITS.inc(len(hits[:limit]))
         return hits[:limit]
 
-    def _drop(self, message: GeocastMessage) -> None:
-        self._messages.pop(message.geocast_id, None)
-        _M_EXPIRED.inc()
-
-    def sweep(self, now_s: float) -> int:
-        """Drop every expired message (and rebuild the cell index)."""
-        doomed = [m for m in self._messages.values() if m.expired(now_s)]
-        if not doomed:
-            return 0
-        for message in doomed:
-            self._messages.pop(message.geocast_id, None)
-        _M_EXPIRED.inc(len(doomed))
-        self._cells.clear()
-        for message in self._messages.values():
-            for cell in self._covered_cells(message):
-                self._cells.setdefault(cell, []).append(message.geocast_id)
-        return len(doomed)
+    def sweep(self, now_s: float, limit: int | None = None) -> int:
+        """Pop the expired prefix of the expiry heap (at most ``limit``
+        drops when bounded); each drop is unindexed from exactly the
+        cells its disc covered.  Returns the number dropped."""
+        dropped = 0
+        scanned = 0
+        while self._expiry and self._expiry[0][0] < now_s:
+            if limit is not None and dropped >= limit:
+                break
+            scanned += 1
+            _, geocast_id = heapq.heappop(self._expiry)
+            message = self._messages.pop(geocast_id, None)
+            if message is None:
+                continue  # already pruned lazily by a poll
+            for cell_key in self._covered_cells(message):
+                cell = self._cells.get(cell_key)
+                if cell is None:
+                    continue
+                try:
+                    cell.remove(geocast_id)
+                except ValueError:
+                    pass  # a poll already pruned this cell entry
+                if not cell:
+                    del self._cells[cell_key]
+            dropped += 1
+        if scanned:
+            _M_SCAN.inc(scanned)
+        if dropped:
+            _M_EXPIRED.inc(dropped)
+        return dropped
 
     def live_count(self) -> int:
         """Messages currently on the board (stale entries included

@@ -9,24 +9,34 @@ event loop sustain thousands of requests per second.
 
 The exception is ``GET /v1/stream``: instead of one response the
 connection is upgraded to a long-lived, bidirectional NDJSON stream
-(the WebSocket idea without the framing): the server polls the owner's
-postbox push records and writes one JSON line per pushed message; the
-client writes ``{"confirm": <msg_id>}`` lines back, which drive the
-exactly-once :meth:`~repro.service.shards.ShardedPostboxStore.
-confirm_push` path.  An unconfirmed push stays pending in the store —
-at-least-once always, exactly once when the client answers.
+(the WebSocket idea without the framing): the server writes one JSON
+line per pushed message; the client writes ``{"confirm": <msg_id>}``
+lines back, which drive the exactly-once :meth:`~repro.service.shards.
+ShardedPostboxStore.confirm_push` path.  An unconfirmed push stays
+pending in the store — at-least-once always, exactly once when the
+client answers.
+
+Pushes are **wake-on-delivery**: each stream registers a per-owner
+``asyncio.Event`` with the :class:`LocalPushGateway` (or the cluster
+gateway, which also watches the owner's home worker over the
+inter-worker links), and the shard writer sets the event the moment a
+delivery appends a push record — push latency is O(delivery), not
+O(poll interval).  The old poll remains only as a safety-net timeout.
 
 ``DFNServer`` owns the listening socket and the connection set, and
 shuts down gracefully: stop accepting, let in-flight requests finish
-(bounded), cancel stream tasks, then drain the shard queues via
-``app.close()``.
+(idle keep-alive connections are closed immediately), flush every open
+push stream and end it with a ``bye`` line, then drain the shard
+queues via ``app.close()``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
-from urllib.parse import parse_qs, urlsplit
+import socket as socket_module
+from typing import Awaitable, Callable
 
 from ..obs import REGISTRY
 from .app import ServiceApp, _message_dict
@@ -34,12 +44,18 @@ from .app import ServiceApp, _message_dict
 _M_CONNS = REGISTRY.counter("service.http.connections")
 _M_REQS = REGISTRY.counter("service.http.requests")
 _M_STREAMS = REGISTRY.counter("service.http.streams")
+_M_WAKES = REGISTRY.counter("service.http.stream_wakes")
 _G_OPEN = REGISTRY.gauge("service.http.open_connections")
 
 #: Maximum header block size we will buffer for one request.
 MAX_HEADER_BYTES = 16 * 1024
 #: Maximum request body size (sealed payloads are small).
 MAX_BODY_BYTES = 1 * 1024 * 1024
+
+#: Safety-net re-check interval for push streams.  Wake-on-delivery
+#: makes push latency O(delivery); this only bounds the damage if a
+#: wake is ever lost, so it can be far above the old 50 ms poll floor.
+DEFAULT_PUSH_FALLBACK_S = 0.5
 
 _STATUS_TEXT = {
     200: "OK",
@@ -50,6 +66,8 @@ _STATUS_TEXT = {
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+Dispatch = Callable[[str, str, bytes], Awaitable[tuple[int, dict]]]
 
 
 def _response_bytes(status: int, payload: dict, keep_alive: bool) -> bytes:
@@ -65,22 +83,92 @@ def _response_bytes(status: int, payload: dict, keep_alive: bool) -> bytes:
     return head.encode() + body
 
 
+class LocalPushGateway:
+    """Single-process push plumbing: per-owner wake events over the store.
+
+    The gateway is the seam between the push stream and the postbox
+    store.  In one process it wires the store's ``on_push`` hook to a
+    registry of per-owner :class:`asyncio.Event`\\ s; the cluster swaps
+    in a gateway that additionally forwards take/confirm to the owner's
+    home worker and relays wakes over the inter-worker links — the
+    stream handler cannot tell the difference.
+    """
+
+    def __init__(self, app: ServiceApp):
+        self.app = app
+        self._waiters: dict[str, set[asyncio.Event]] = {}
+        app.store.on_push = self.wake
+
+    def wake(self, owner: str) -> None:
+        """Wake every stream waiting on this owner (delivery-time hook)."""
+        waiters = self._waiters.get(owner)
+        if waiters:
+            _M_WAKES.inc(len(waiters))
+            for event in waiters:
+                event.set()
+
+    def wake_all(self) -> None:
+        """Wake every stream (shutdown: flush-and-bye without waiting
+        out the safety-net timeout)."""
+        for waiters in self._waiters.values():
+            for event in waiters:
+                event.set()
+
+    async def register(self, owner: str) -> asyncio.Event:
+        """Create and register this stream's wake event."""
+        event = asyncio.Event()
+        self._waiters.setdefault(owner, set()).add(event)
+        return event
+
+    async def unregister(self, owner: str, event: asyncio.Event) -> None:
+        waiters = self._waiters.get(owner)
+        if waiters is not None:
+            waiters.discard(event)
+            if not waiters:
+                del self._waiters[owner]
+
+    async def take_pushes(self, owner: str) -> list[dict]:
+        """Drain the owner's push records, rendered as wire dicts."""
+        return [
+            _message_dict(m) for m in await self.app.store.take_pushes(owner)
+        ]
+
+    async def confirm(self, owner: str, msg_id: int) -> bool:
+        return await self.app.store.confirm_push(owner, msg_id)
+
+
 class DFNServer:
-    """The always-on DFN service: a ``ServiceApp`` behind TCP."""
+    """The always-on DFN service: a ``ServiceApp`` behind TCP.
+
+    ``dispatch``, ``gateway``, and ``sock`` are injection points for
+    the multi-worker cluster: a worker passes its owner-affine routing
+    dispatch, its cross-worker push gateway, and its pre-bound
+    ``SO_REUSEPORT`` listening socket; single-process callers leave all
+    three at their defaults.
+    """
 
     def __init__(
         self,
         app: ServiceApp,
         host: str = "127.0.0.1",
         port: int = 0,
-        push_poll_interval_s: float = 0.05,
+        push_poll_interval_s: float = DEFAULT_PUSH_FALLBACK_S,
+        sock: socket_module.socket | None = None,
+        dispatch: Dispatch | None = None,
+        gateway: LocalPushGateway | None = None,
+        accept_connections: bool = True,
     ):
         self.app = app
         self.host = host
         self.requested_port = port
         self.push_poll_interval_s = push_poll_interval_s
+        self._sock = sock
+        self._accept_connections = accept_connections
+        self._dispatch: Dispatch = dispatch if dispatch is not None else app.dispatch
+        self.gateway = gateway if gateway is not None else LocalPushGateway(app)
         self._server: asyncio.base_events.Server | None = None
-        self._connections: set[asyncio.Task] = set()
+        self._connections: dict[asyncio.Task, dict] = {}
+        self._draining = asyncio.Event()
         self._stopped = asyncio.Event()
 
     # -- lifecycle ------------------------------------------------------
@@ -92,11 +180,24 @@ class DFNServer:
         return self._server.sockets[0].getsockname()[1]
 
     async def start(self) -> None:
-        """Start shard writers and begin accepting connections."""
+        """Start shard writers and begin accepting connections.
+
+        With ``accept_connections=False`` no listener is created — the
+        fd-passing cluster mode feeds connections in through
+        :meth:`adopt_connection` instead.
+        """
         await self.app.start()
-        self._server = await asyncio.start_server(
-            self._on_connection, self.host, self.requested_port
-        )
+        if not self._accept_connections:
+            self._server = None
+        elif self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._on_connection, sock=self._sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, self.host, self.requested_port
+            )
+        self._draining.clear()
         self._stopped.clear()
 
     async def serve_forever(self) -> None:
@@ -104,15 +205,27 @@ class DFNServer:
         await self._stopped.wait()
 
     async def close(self, drain_timeout_s: float = 5.0) -> None:
-        """Graceful shutdown: stop accepting, finish in-flight work,
-        cancel what will not finish, then drain the shard queues."""
+        """Graceful shutdown.
+
+        Stop accepting; close idle keep-alive connections immediately;
+        let in-flight requests finish and push streams flush-and-bye
+        (both watch the draining flag); cancel whatever exceeds the
+        timeout; then drain the shard queues.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        self._draining.set()
+        wake_all = getattr(self.gateway, "wake_all", None)
+        if wake_all is not None:
+            wake_all()
+        for task, state in list(self._connections.items()):
+            if not state["busy"] and not state["stream"]:
+                task.cancel()
         if self._connections:
-            done, pending = await asyncio.wait(
-                self._connections, timeout=drain_timeout_s
+            _, pending = await asyncio.wait(
+                set(self._connections), timeout=drain_timeout_s
             )
             for task in pending:
                 task.cancel()
@@ -127,17 +240,32 @@ class DFNServer:
     def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        task = asyncio.create_task(self._handle(reader, writer))
-        self._connections.add(task)
-        task.add_done_callback(self._connections.discard)
+        state = {"busy": False, "stream": False}
+        task = asyncio.create_task(self._handle(reader, writer, state))
+        self._connections[task] = state
+        task.add_done_callback(lambda t: self._connections.pop(t, None))
         _M_CONNS.inc()
         _G_OPEN.set(len(self._connections))
 
+    async def adopt_connection(self, conn: socket_module.socket) -> None:
+        """Serve an already-accepted connection (the ``send_fds``
+        fallback path: the cluster parent accepts and hands the fd to a
+        worker when the platform lacks ``SO_REUSEPORT``)."""
+        conn.setblocking(False)
+        reader, writer = await asyncio.open_connection(sock=conn)
+        self._on_connection(reader, writer)
+
     async def _handle(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        state: dict,
     ) -> None:
         try:
             while True:
+                state["busy"] = False
+                if self._draining.is_set():
+                    return
                 try:
                     header_block = await reader.readuntil(b"\r\n\r\n")
                 except (
@@ -154,6 +282,7 @@ class DFNServer:
                         )
                     )
                     return
+                state["busy"] = True
                 if len(header_block) > MAX_HEADER_BYTES:
                     writer.write(
                         _response_bytes(
@@ -185,12 +314,13 @@ class DFNServer:
                     if content_length
                     else b""
                 )
-                url = urlsplit(target)
+                path, _, query = target.partition("?")
                 _M_REQS.inc()
-                if method == "GET" and url.path == "/v1/stream":
-                    await self._handle_stream(url.query, reader, writer)
+                if method == "GET" and path == "/v1/stream":
+                    state["stream"] = True
+                    await self._handle_stream(query, reader, writer)
                     return  # the stream consumes the connection
-                status, payload = await self.app.dispatch(method, url.path, body)
+                status, payload = await self._dispatch(method, path, body)
                 writer.write(_response_bytes(status, payload, keep_alive))
                 await writer.drain()
                 if not keep_alive:
@@ -249,14 +379,19 @@ class DFNServer:
         """``GET /v1/stream?owner=NAME``: long-lived NDJSON push channel.
 
         Server → client: ``{"type": "push", "msg_id": …, "payload": …}``
-        per pushed message (urgent deliveries the owner opted into).
+        per pushed message (urgent deliveries the owner opted into),
+        written the moment the delivery lands (wake-on-delivery).
         Client → server: ``{"confirm": <msg_id>}`` lines; each drives
         the store's exactly-once confirm path and is acknowledged with
-        ``{"type": "confirmed", "msg_id": …, "ok": bool}``.
+        ``{"type": "confirmed", "msg_id": …, "ok": bool}``.  On
+        graceful shutdown the stream flushes pending pushes, writes
+        ``{"type": "bye"}``, and closes cleanly.
         """
         owner = None
-        for value in parse_qs(query).get("owner", []):
-            owner = value
+        for pair in query.split("&"):
+            key, _, value = pair.partition("=")
+            if key == "owner" and value:
+                owner = value
         if not owner:
             writer.write(
                 _response_bytes(
@@ -273,55 +408,86 @@ class DFNServer:
             b"Connection: close\r\n\r\n"
         )
         writer.write(
-            json.dumps({"type": "hello", "owner": owner}).encode() + b"\n"
+            json.dumps(
+                {"type": "hello", "owner": owner, "worker": self.app.worker_index}
+            ).encode()
+            + b"\n"
         )
         await writer.drain()
-        stop = asyncio.Event()
-
-        async def pusher() -> None:
-            while not stop.is_set():
-                pushes = await self.app.store.take_pushes(owner)
-                for message in pushes:
-                    event = {"type": "push", **_message_dict(message)}
-                    writer.write(json.dumps(event).encode() + b"\n")
-                if pushes:
+        wake = await self.gateway.register(owner)
+        pusher = asyncio.create_task(self._stream_pusher(owner, wake, writer))
+        confirmer = asyncio.create_task(
+            self._stream_confirmer(owner, reader, writer)
+        )
+        try:
+            # The pusher ends on graceful drain; the confirmer ends when
+            # the client hangs up.  Either way the stream is over.
+            done, pending = await asyncio.wait(
+                {pusher, confirmer}, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+            for task in done:
+                exc = task.exception()
+                if exc is not None and not isinstance(
+                    exc, (ConnectionResetError, BrokenPipeError)
+                ):
+                    raise exc
+            if self._draining.is_set():
+                with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+                    writer.write(json.dumps({"type": "bye"}).encode() + b"\n")
                     await writer.drain()
-                try:
-                    await asyncio.wait_for(
-                        stop.wait(), timeout=self.push_poll_interval_s
-                    )
-                except asyncio.TimeoutError:
-                    pass
+        finally:
+            await self.gateway.unregister(owner, wake)
 
-        async def confirmer() -> None:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break  # EOF: client hung up
-                try:
-                    event = json.loads(line)
-                    msg_id = event["confirm"]
-                except (ValueError, KeyError, TypeError):
-                    writer.write(
-                        json.dumps({"type": "error", "error": "bad_confirm"}).encode()
-                        + b"\n"
-                    )
-                    await writer.drain()
-                    continue
-                ok = await self.app.store.confirm_push(owner, int(msg_id))
+    async def _stream_pusher(
+        self, owner: str, wake: asyncio.Event, writer: asyncio.StreamWriter
+    ) -> None:
+        """Write push lines as deliveries land; return on drain."""
+        while True:
+            wake.clear()
+            pushes = await self.gateway.take_pushes(owner)
+            for push in pushes:
                 writer.write(
-                    json.dumps(
-                        {"type": "confirmed", "msg_id": int(msg_id), "ok": ok}
-                    ).encode()
+                    json.dumps({"type": "push", **push}).encode() + b"\n"
+                )
+            if pushes:
+                await writer.drain()
+            if self._draining.is_set():
+                return
+            # Wake-on-delivery: the event is set by the shard writer
+            # (or a remote wake frame).  The timeout is only a safety
+            # net; any delivery between take_pushes and here re-set the
+            # event, so no wake is ever lost.
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    wake.wait(), timeout=self.push_poll_interval_s
+                )
+
+    async def _stream_confirmer(
+        self, owner: str, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Apply the client's confirm lines until it hangs up."""
+        while True:
+            line = await reader.readline()
+            if not line:
+                return  # EOF: client hung up
+            try:
+                event = json.loads(line)
+                msg_id = event["confirm"]
+            except (ValueError, KeyError, TypeError):
+                writer.write(
+                    json.dumps({"type": "error", "error": "bad_confirm"}).encode()
                     + b"\n"
                 )
                 await writer.drain()
-
-        push_task = asyncio.create_task(pusher())
-        try:
-            await confirmer()
-        except (ConnectionResetError, BrokenPipeError):
-            pass
-        finally:
-            stop.set()
-            await push_task
+                continue
+            ok = await self.gateway.confirm(owner, int(msg_id))
+            writer.write(
+                json.dumps(
+                    {"type": "confirmed", "msg_id": int(msg_id), "ok": ok}
+                ).encode()
+                + b"\n"
+            )
+            await writer.drain()

@@ -1,0 +1,197 @@
+"""Inter-worker frame links: length-prefixed JSON over socketpairs.
+
+The cluster's forwarding plane.  Every pair of workers shares one
+pre-fork ``socketpair``; each end is wrapped in a :class:`PeerLink`
+that speaks a tiny framed protocol — a 4-byte big-endian length prefix
+followed by one JSON object — with request-id correlation so many
+forwarded requests can be in flight on one link at once.
+
+Frame shapes (the ``t`` field is the type):
+
+- ``{"t": "req", "rid": n, ...}`` — a request the peer must answer;
+  :meth:`PeerLink.request` assigns the ``rid`` and returns the matching
+  ``res`` frame's body.  The cluster uses this for forwarded HTTP
+  requests, watch/unwatch registrations, and replica applies.
+- ``{"t": "res", "rid": n, ...}`` — the answer; never originated by
+  callers, only by the link's reader when the handler returns a dict.
+- anything without a ``rid`` (e.g. ``{"t": "wake", "owner": …}``) —
+  fire-and-forget via :meth:`PeerLink.post`; the handler's return value
+  is discarded.
+
+Backpressure is typed, mirroring the shard queues: a link caps its
+in-flight request window, and a request past the cap (or to a peer
+that died) raises :class:`~repro.service.errors.ForwardOverloadedError`
+— HTTP 503 — instead of queueing without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket as socket_module
+from typing import Awaitable, Callable
+
+from ..obs import REGISTRY
+from .errors import ForwardOverloadedError
+
+_M_SENT = REGISTRY.counter("service.ipc.frames_sent")
+_M_RECEIVED = REGISTRY.counter("service.ipc.frames_received")
+_M_REJECTS = REGISTRY.counter("service.ipc.window_rejects")
+
+#: Default per-link in-flight request window.
+DEFAULT_MAX_IN_FLIGHT = 512
+
+#: Hard cap on one frame's payload (forwarded bodies are bounded by the
+#: HTTP layer's body cap, plus small framing overhead).
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+FrameHandler = Callable[[dict], Awaitable[dict | None]]
+
+
+def _encode(frame: dict) -> bytes:
+    payload = json.dumps(frame, separators=(",", ":")).encode()
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(f"frame too large ({len(payload)} bytes)")
+    return len(payload).to_bytes(4, "big") + payload
+
+
+class PeerLink:
+    """One worker's end of the framed channel to one peer worker.
+
+    Args:
+        peer: the peer worker's index (for error messages and metrics).
+        sock: this end of the pre-fork ``socketpair``.
+        handler: coroutine invoked for every incoming non-``res`` frame;
+            its dict return value is sent back as the ``res`` body for
+            frames that carried a ``rid`` (``None`` → no response).
+        max_in_flight: request-window cap before typed 503 rejection.
+    """
+
+    def __init__(
+        self,
+        peer: int,
+        sock: socket_module.socket,
+        handler: FrameHandler,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+    ):
+        self.peer = peer
+        self.max_in_flight = max_in_flight
+        self._sock = sock
+        self._handler = handler
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_rid = 1
+        self._dead = False
+
+    async def start(self) -> None:
+        self._sock.setblocking(False)
+        self._reader, self._writer = await asyncio.open_connection(sock=self._sock)
+        self._reader_task = asyncio.create_task(
+            self._read_loop(), name=f"peer-link-{self.peer}"
+        )
+
+    async def close(self) -> None:
+        """Tear the link down; outstanding requests fail as overload."""
+        self._mark_dead()
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            await asyncio.gather(self._reader_task, return_exceptions=True)
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+
+    def _mark_dead(self) -> None:
+        if self._dead:
+            return
+        self._dead = True
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(
+                    ForwardOverloadedError(self.peer, self.max_in_flight)
+                )
+        self._pending.clear()
+
+    # -- sending --------------------------------------------------------
+    def post(self, frame: dict) -> None:
+        """Fire-and-forget (wake frames): buffered, never awaited."""
+        if self._dead or self._writer is None:
+            return  # peer is gone; wakes degrade to the fallback timeout
+        self._writer.write(_encode(frame))
+        _M_SENT.inc()
+
+    async def request(self, frame: dict) -> dict:
+        """Send a frame and await the peer's ``res`` body.
+
+        Raises:
+            ForwardOverloadedError: the in-flight window is full, or
+                the peer link is down.
+        """
+        if self._dead or self._writer is None:
+            raise ForwardOverloadedError(self.peer, self.max_in_flight)
+        if len(self._pending) >= self.max_in_flight:
+            _M_REJECTS.inc()
+            raise ForwardOverloadedError(self.peer, self.max_in_flight)
+        rid = self._next_rid
+        self._next_rid += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        try:
+            self._writer.write(_encode({**frame, "rid": rid}))
+            _M_SENT.inc()
+            await self._writer.drain()
+            return await future
+        finally:
+            self._pending.pop(rid, None)
+
+    # -- receiving ------------------------------------------------------
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                header = await self._reader.readexactly(4)
+                length = int.from_bytes(header, "big")
+                if length > MAX_FRAME_BYTES:
+                    break  # protocol violation: drop the link
+                frame = json.loads(await self._reader.readexactly(length))
+                _M_RECEIVED.inc()
+                if frame.get("t") == "res":
+                    future = self._pending.get(frame.get("rid"))
+                    if future is not None and not future.done():
+                        future.set_result(frame)
+                    continue
+                # Handle concurrently: a forwarded request must not
+                # head-of-line-block wake frames behind it.
+                asyncio.create_task(self._serve(frame))
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            ValueError,
+        ):
+            pass
+        finally:
+            self._mark_dead()
+
+    async def _serve(self, frame: dict) -> None:
+        try:
+            result = await self._handler(frame)
+        except Exception:
+            result = {"error": "peer_handler_failed"}
+        rid = frame.get("rid")
+        if rid is None or result is None:
+            return
+        if self._dead or self._writer is None:
+            return
+        try:
+            self._writer.write(_encode({"t": "res", "rid": rid, **result}))
+            _M_SENT.inc()
+            await self._writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            self._mark_dead()

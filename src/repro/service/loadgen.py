@@ -333,6 +333,8 @@ class LoadReport:
     confirms: int
     errors: int  # 5xx
     rejects: int  # 429 + 503 (typed backpressure)
+    retries: int = 0  # idempotent reconnect-and-retry events
+    procs: int = 1  # generator processes that produced the load
 
     def to_dict(self) -> dict:
         return {
@@ -347,6 +349,8 @@ class LoadReport:
             "confirms": self.confirms,
             "errors": self.errors,
             "rejects": self.rejects,
+            "retries": self.retries,
+            "procs": self.procs,
         }
 
 
@@ -357,33 +361,22 @@ def _quantile(sorted_values: list[float], q: float) -> float:
     return sorted_values[index]
 
 
-async def run_loadgen(
-    trace: LoadTrace,
-    client_factory: Callable[[], object],
-    connections: int = 32,
-) -> LoadReport:
-    """Replay a trace closed-loop and measure what the clients saw.
+#: Request kinds that are safe to retry once on a dropped connection
+#: (reads and drains whose re-issue cannot double-apply a write).
+IDEMPOTENT_KINDS = frozenset({"check", "pushes", "geocast_poll", "lookup"})
 
-    Args:
-        trace: the deterministic request trace.
-        client_factory: builds one transport per connection — a
-            :class:`~repro.service.client.ServiceClient` for TCP or an
-            :class:`~repro.service.app.InProcessClient` for no-socket
-            runs; anything with ``request``/``close`` coroutines works.
-        connections: virtual phones' multiplexing degree.  Requests are
-            partitioned by owner hash so one owner's requests replay in
-            trace order on one connection.
 
-    Successful ``pushes`` responses trigger immediate ``confirm``
-    requests for every returned push record — the closed loop exercises
-    the full exactly-once path, and those confirms are counted and
-    timed like any other request.
+def partition_trace(
+    trace: LoadTrace, connections: int
+) -> tuple[list[TraceRequest], list[list[TraceRequest]]]:
+    """Split a trace into the serial prelude and per-connection buckets.
+
+    Requests are partitioned by ``blake2b(owner) % connections`` — the
+    same digest the sharded store and the cluster's
+    :func:`~repro.service.cluster.home_worker` use, so when the worker
+    count divides the connection count every request of bucket *b* is
+    homed on worker ``b % workers`` and replays zero-hop.
     """
-    if connections < 1:
-        raise ValueError("need at least one connection")
-    # The t=0 directory prelude runs serially before the fan-out:
-    # well-known names must exist before any connection can race a
-    # lookup past their publish.
     prelude = [r for r in trace.requests if r.kind == "directory_publish"]
     buckets: list[list[TraceRequest]] = [[] for _ in range(connections)]
     for request in trace.requests:
@@ -391,61 +384,73 @@ async def run_loadgen(
             continue
         digest = hashlib.blake2b(request.owner.encode(), digest_size=4).digest()
         buckets[int.from_bytes(digest, "big") % connections].append(request)
+    return prelude, buckets
 
-    latencies_by_worker: list[list[float]] = [[] for _ in range(connections)]
-    counts_by_worker: list[dict[int, int]] = [{} for _ in range(connections)]
-    confirms_by_worker = [0] * connections
 
-    async def worker(index: int) -> None:
-        client = client_factory()
-        latencies = latencies_by_worker[index]
-        counts = counts_by_worker[index]
-        try:
-            for request in buckets[index]:
-                t0 = time.perf_counter()
-                status, payload = await client.request(
-                    request.method, request.path, request.body
-                )
-                latencies.append(time.perf_counter() - t0)
-                counts[status] = counts.get(status, 0) + 1
-                if (
-                    request.kind == "pushes"
-                    and status == 200
-                    and payload.get("pushes")
-                ):
-                    for push in payload["pushes"]:
-                        t1 = time.perf_counter()
-                        confirm_status, _ = await client.request(
-                            "POST",
-                            "/v1/postbox/confirm",
-                            {"owner": request.owner, "msg_id": push["msg_id"]},
-                        )
-                        latencies.append(time.perf_counter() - t1)
-                        counts[confirm_status] = counts.get(confirm_status, 0) + 1
-                        confirms_by_worker[index] += 1
-        finally:
-            await client.close()
+@dataclass
+class _BucketResult:
+    """One connection's share of the replay, raw."""
 
-    prelude_counts: dict[int, int] = {}
-    if prelude:
-        client = client_factory()
-        try:
-            for request in prelude:
-                status, _ = await client.request(
-                    request.method, request.path, request.body
-                )
-                prelude_counts[status] = prelude_counts.get(status, 0) + 1
-        finally:
-            await client.close()
+    latencies: list[float] = field(default_factory=list)
+    counts: dict[int, int] = field(default_factory=dict)
+    confirms: int = 0
+    retries: int = 0
 
-    wall_start = time.perf_counter()
-    await asyncio.gather(*(worker(i) for i in range(connections)))
-    wall_s = time.perf_counter() - wall_start
 
-    latencies = sorted(lat for worker_lat in latencies_by_worker for lat in worker_lat)
+async def _replay_bucket(
+    client, requests: list[TraceRequest], capture: list | None = None
+) -> _BucketResult:
+    """Replay one connection's requests closed-loop.
+
+    Successful ``pushes`` responses trigger immediate ``confirm``
+    requests for every returned push record — the closed loop exercises
+    the full exactly-once path, and those confirms are counted and
+    timed like any other request.
+    """
+    result = _BucketResult()
+    try:
+        for request in requests:
+            idempotent = request.kind in IDEMPOTENT_KINDS
+            t0 = time.perf_counter()
+            status, payload = await client.request(
+                request.method, request.path, request.body, idempotent=idempotent
+            )
+            result.latencies.append(time.perf_counter() - t0)
+            result.counts[status] = result.counts.get(status, 0) + 1
+            if capture is not None:
+                capture.append([status, payload])
+            if request.kind == "pushes" and status == 200 and payload.get("pushes"):
+                for push in payload["pushes"]:
+                    t1 = time.perf_counter()
+                    confirm_status, confirm_payload = await client.request(
+                        "POST",
+                        "/v1/postbox/confirm",
+                        {"owner": request.owner, "msg_id": push["msg_id"]},
+                    )
+                    result.latencies.append(time.perf_counter() - t1)
+                    result.counts[confirm_status] = (
+                        result.counts.get(confirm_status, 0) + 1
+                    )
+                    result.confirms += 1
+                    if capture is not None:
+                        capture.append([confirm_status, confirm_payload])
+    finally:
+        result.retries = getattr(client, "retries", 0)
+        await client.close()
+    return result
+
+
+def _assemble_report(
+    results: list[_BucketResult],
+    prelude_counts: dict[int, int],
+    wall_s: float,
+    connections: int,
+    procs: int = 1,
+) -> LoadReport:
+    latencies = sorted(lat for r in results for lat in r.latencies)
     status_counts = dict(prelude_counts)
-    for counts in counts_by_worker:
-        for status, n in counts.items():
+    for r in results:
+        for status, n in r.counts.items():
             status_counts[status] = status_counts.get(status, 0) + n
     total = len(latencies)
     return LoadReport(
@@ -457,9 +462,186 @@ async def run_loadgen(
         max_ms=latencies[-1] * 1e3 if latencies else 0.0,
         status_counts=status_counts,
         connections=connections,
-        confirms=sum(confirms_by_worker),
+        confirms=sum(r.confirms for r in results),
         errors=sum(n for s, n in status_counts.items() if s >= 500),
         rejects=status_counts.get(429, 0) + status_counts.get(503, 0),
+        retries=sum(r.retries for r in results),
+        procs=procs,
+    )
+
+
+async def _run_prelude(client, prelude: list[TraceRequest], capture: list | None):
+    counts: dict[int, int] = {}
+    try:
+        for request in prelude:
+            status, payload = await client.request(
+                request.method, request.path, request.body
+            )
+            counts[status] = counts.get(status, 0) + 1
+            if capture is not None:
+                capture.append([status, payload])
+    finally:
+        await client.close()
+    return counts
+
+
+async def run_loadgen(
+    trace: LoadTrace,
+    client_factory: Callable[[int], object],
+    connections: int = 32,
+    capture: list | None = None,
+) -> LoadReport:
+    """Replay a trace closed-loop and measure what the clients saw.
+
+    Args:
+        trace: the deterministic request trace.
+        client_factory: builds one transport per connection, given the
+            connection index — a
+            :class:`~repro.service.client.ServiceClient` for TCP or an
+            :class:`~repro.service.app.InProcessClient` for no-socket
+            runs; anything with ``request``/``close`` coroutines works.
+            The index lets TCP factories pin the connection to its
+            bucket's home worker in cluster mode.
+        connections: virtual phones' multiplexing degree.  Requests are
+            partitioned by owner hash so one owner's requests replay in
+            trace order on one connection.
+        capture: append ``[status, payload]`` per response, in replay
+            order.  Deterministic only with ``connections=1`` (one
+            bucket = strict trace order) — the CI byte-identity guard
+            runs exactly that configuration.
+    """
+    if connections < 1:
+        raise ValueError("need at least one connection")
+    # The t=0 directory prelude runs serially before the fan-out:
+    # well-known names must exist before any connection can race a
+    # lookup past their publish.
+    prelude, buckets = partition_trace(trace, connections)
+    prelude_counts: dict[int, int] = {}
+    if prelude:
+        prelude_counts = await _run_prelude(client_factory(0), prelude, capture)
+
+    wall_start = time.perf_counter()
+    results = await asyncio.gather(
+        *(
+            _replay_bucket(client_factory(i), buckets[i], capture)
+            for i in range(connections)
+        )
+    )
+    wall_s = time.perf_counter() - wall_start
+    return _assemble_report(list(results), prelude_counts, wall_s, connections)
+
+
+def _procs_entry(
+    proc_index: int,
+    procs: int,
+    host: str,
+    port: int,
+    workers: int,
+    buckets: list[list[TraceRequest]],
+    sink,
+) -> None:
+    """One generator process: replay its slice of the buckets."""
+    from .client import ServiceClient
+
+    connections = len(buckets)
+    my_indices = [i for i in range(connections) if i % procs == proc_index]
+
+    def factory(index: int) -> ServiceClient:
+        prefer = None
+        if workers > 1 and connections % workers == 0:
+            prefer = index % workers
+        return ServiceClient(host, port, prefer_worker=prefer)
+
+    async def body():
+        t0 = time.perf_counter()
+        results = await asyncio.gather(
+            *(_replay_bucket(factory(i), buckets[i]) for i in my_indices)
+        )
+        return list(results), time.perf_counter() - t0
+
+    results, wall_s = asyncio.run(body())
+    sink.put(
+        {
+            "wall_s": wall_s,
+            "results": [
+                {
+                    "latencies": r.latencies,
+                    "counts": r.counts,
+                    "confirms": r.confirms,
+                    "retries": r.retries,
+                }
+                for r in results
+            ],
+        }
+    )
+
+
+def run_loadgen_procs(
+    trace: LoadTrace,
+    host: str,
+    port: int,
+    connections: int = 32,
+    procs: int = 2,
+    workers: int = 1,
+) -> LoadReport:
+    """Multi-process closed-loop replay (``repro loadgen --procs N``).
+
+    A single-process generator becomes the bottleneck before an
+    N-worker service does; this forks ``procs`` generator processes,
+    each replaying an interleaved slice of the per-connection buckets,
+    and merges their raw observations.  Sustained req/s is total
+    requests over the *slowest* process's wall clock — the honest
+    number for overlapping generators.
+
+    Synchronous by design (it owns its child processes and their event
+    loops); TCP only.
+    """
+    import multiprocessing
+
+    if procs < 1:
+        raise ValueError("need at least one generator process")
+    if connections < procs:
+        raise ValueError("need at least one connection per generator process")
+    prelude, buckets = partition_trace(trace, connections)
+
+    from .client import ServiceClient
+
+    prelude_counts: dict[int, int] = {}
+    if prelude:
+        prelude_counts = asyncio.run(
+            _run_prelude(ServiceClient(host, port), prelude, None)
+        )
+
+    ctx = multiprocessing.get_context("fork")
+    sink = ctx.SimpleQueue()
+    children = [
+        ctx.Process(
+            target=_procs_entry,
+            args=(p, procs, host, port, workers, buckets, sink),
+            name=f"loadgen-{p}",
+        )
+        for p in range(procs)
+    ]
+    for child in children:
+        child.start()
+    merged: list[_BucketResult] = []
+    wall_s = 0.0
+    for _ in children:
+        payload = sink.get()
+        wall_s = max(wall_s, payload["wall_s"])
+        for raw in payload["results"]:
+            merged.append(
+                _BucketResult(
+                    latencies=raw["latencies"],
+                    counts={int(k): v for k, v in raw["counts"].items()},
+                    confirms=raw["confirms"],
+                    retries=raw["retries"],
+                )
+            )
+    for child in children:
+        child.join()
+    return _assemble_report(
+        merged, prelude_counts, wall_s, connections, procs=procs
     )
 
 
@@ -471,8 +653,9 @@ def format_report(report: LoadReport, trace: LoadTrace) -> str:
             f"{trace.epochs} epochs, {len(trace.requests)} trace requests"
         ),
         (
-            f"  {report.requests} requests ({report.confirms} push confirms) "
-            f"over {report.connections} connections in {report.wall_s:.2f} s"
+            f"  {report.requests} requests ({report.confirms} push confirms, "
+            f"{report.retries} idempotent retries) over {report.connections} "
+            f"connections x {report.procs} proc(s) in {report.wall_s:.2f} s"
         ),
         (
             f"  sustained {report.req_per_s:,.0f} req/s — "

@@ -86,6 +86,13 @@ class ShardedPostboxStore:
         self._pending_total = 0
         self._started = False
         self._closing = False
+        #: Wake-on-delivery hook: called with the owner name from the
+        #: shard writer task whenever an operation appended push
+        #: records to that owner's box (an urgent delivery with a
+        #: cached location).  The push stream registers per-owner
+        #: events behind this instead of polling; a cluster worker
+        #: additionally fans the wake out to remote watchers.
+        self.on_push: Callable[[str], None] | None = None
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
@@ -175,6 +182,7 @@ class ShardedPostboxStore:
         def op(shard: _Shard) -> Any:
             box = self._box(shard, owner)
             before = box.pending_count()
+            pushes_before = len(box.pushed)
             try:
                 return fn(box)
             finally:
@@ -182,6 +190,8 @@ class ShardedPostboxStore:
                 if delta:
                     self._pending_total += delta
                     _G_PENDING.set(self._pending_total)
+                if self.on_push is not None and len(box.pushed) > pushes_before:
+                    self.on_push(owner)
 
         return self._submit(owner, op)
 

@@ -320,7 +320,12 @@ def test_healthz_and_stats():
         client = await _started(app)
         try:
             status, out = await client.request("GET", "/v1/healthz")
-            assert status == 200 and out == {"ok": True, "started": True}
+            assert status == 200 and out == {
+                "ok": True,
+                "started": True,
+                "worker": 0,
+                "workers": 1,
+            }
 
             await client.request(
                 "POST",
@@ -435,6 +440,62 @@ def test_geocast_board_full_is_429():
                 },
             )
             assert status == 429 and out["error"] == "geocast_board_full"
+        finally:
+            await app.close()
+
+    asyncio.run(body())
+
+
+def test_geocast_full_board_clears_after_expiry_without_polls():
+    """A full board un-fills itself: once the resident messages' TTLs
+    lapse, the *publish-time* sweep reclaims the slots — no poll ever
+    touches the board between the 429 and the recovering 200."""
+
+    from repro.obs import REGISTRY
+
+    async def body():
+        app = _app(board=GeocastBoard(max_messages=2))
+        client = await _started(app)
+        expired = REGISTRY.counter("geoboard.expired")
+        scans = REGISTRY.counter("geoboard.scan")
+        expired_before = expired.value
+        scans_before = scans.value
+        try:
+            publish = {
+                "x": 0.0,
+                "y": 0.0,
+                "radius": 100.0,
+                "payload": _b64(b"x"),
+                "ttl_s": 10.0,
+            }
+            for _ in range(2):
+                status, _ = await client.request(
+                    "POST", "/v1/geocast/publish", {**publish, "now_s": 0.0}
+                )
+                assert status == 200
+            status, out = await client.request(
+                "POST", "/v1/geocast/publish", {**publish, "now_s": 1.0}
+            )
+            assert status == 429 and out["error"] == "geocast_board_full"
+
+            # Past both TTLs, with no poll in between: the publish
+            # itself sweeps the heap and finds room.
+            status, out = await client.request(
+                "POST", "/v1/geocast/publish", {**publish, "now_s": 11.0}
+            )
+            assert status == 200
+            assert expired.value - expired_before == 2
+            # The sweep is heap-ordered, not a table scan: it touched
+            # exactly the expired entries (plus one peek that stays).
+            assert scans.value - scans_before <= 3
+
+            status, out = await client.request(
+                "POST",
+                "/v1/geocast/poll",
+                {"x": 0.0, "y": 0.0, "now_s": 12.0},
+            )
+            assert status == 200
+            assert [m["geocast_id"] for m in out["messages"]] == [3]
         finally:
             await app.close()
 
@@ -561,7 +622,7 @@ def test_loadgen_inprocess_replay_is_clean():
         await app.start()
         try:
             report = await run_loadgen(
-                trace, lambda: InProcessClient(app), connections=4
+                trace, lambda index: InProcessClient(app), connections=4
             )
         finally:
             await app.close()
