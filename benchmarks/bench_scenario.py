@@ -27,7 +27,15 @@ from repro.city import grid_downtown
 from repro.experiments import WorldSpec, build_world_from_city
 from repro.geometry import Point, Polygon
 from repro.obs import RunManifest
-from repro.scenario import Damage, DeployBridges, ScenarioDriver, ScenarioSpec
+from repro.scenario import (
+    CongestionSpec,
+    Damage,
+    DeployBridges,
+    ScenarioDriver,
+    ScenarioSpec,
+    generate_scenario,
+    run_scenario,
+)
 
 BLOCKS = 16  # 16x16 blocks, pitch 104 m -> extent ~1650 m, ~7k APs
 EPOCHS = int(os.environ.get("SCENARIO_BENCH_EPOCHS", "5"))
@@ -110,3 +118,45 @@ def test_bench_scenario_epoch_throughput(big_world, perf_record):
     perf_record["deployed_aps"] = result.total_deployed_aps
     perf_record["min_delivery_rate"] = result.min_delivery_rate
     perf_record["final_delivery_rate"] = result.final_delivery_rate
+
+
+def test_bench_scenario_congestion_coupling(perf_record):
+    """Stage 2: the shared-air congestion coupling, measured.
+
+    The same generated flood timeline is scored twice — private-air
+    (every flow broadcasts alone) and congestion-coupled with a
+    saturating 0.5 s injection window (12 flows colliding on the
+    shared medium).  The coupling must *measurably* degrade delivery,
+    and switching it off must leave the zero-load result byte-identical
+    run to run — the congestion path cannot leak into the default
+    scoring.
+    """
+    base = generate_scenario("flood", seed=7, flows=FLOWS)
+    squeezed = generate_scenario(
+        "flood", seed=7, flows=FLOWS, congestion=CongestionSpec(window_s=0.5)
+    )
+
+    free = run_scenario(base)
+    assert free.to_json(manifest=False) == run_scenario(base).to_json(
+        manifest=False
+    )
+
+    t0 = time.perf_counter()
+    jammed = run_scenario(squeezed)
+    congested_run_s = time.perf_counter() - t0
+
+    def mean_rate(result):
+        delivered = sum(r.delivered_flows for r in result.epochs)
+        flows = sum(r.flows for r in result.epochs)
+        return delivered / flows
+
+    uncongested_rate = mean_rate(free)
+    congested_rate = mean_rate(jammed)
+    assert congested_rate < uncongested_rate, (
+        f"congestion coupling had no effect: {congested_rate} vs "
+        f"{uncongested_rate}"
+    )
+
+    perf_record["uncongested_delivery_rate"] = uncongested_rate
+    perf_record["congested_delivery_rate"] = congested_rate
+    perf_record["congested_run_s"] = congested_run_s

@@ -59,7 +59,18 @@ from .obs import (
     set_trace_path,
     summarize_trace,
 )
-from .scenario import format_scenario, make_scenario, run_scenario, scenario_names
+from .scenario import (
+    ARCHETYPES,
+    CongestionSpec,
+    check_invariants,
+    format_scenario,
+    fuzz_specs,
+    generate_scenario,
+    make_scenario,
+    run_scenario,
+    scenario_names,
+    spec_digest,
+)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -193,6 +204,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the full ScenarioResult as deterministic JSON",
     )
     scen.add_parser("list", help="list the canned scenarios")
+    sp = scen.add_parser(
+        "generate",
+        help="generate a seeded archetype timeline and step it end to end",
+    )
+    _add_common(sp)
+    sp.add_argument(
+        "--archetype",
+        choices=ARCHETYPES,
+        required=True,
+        help="disaster shape to generate",
+    )
+    sp.add_argument("--city", default="gridport", help="preset city")
+    sp.add_argument(
+        "--epochs", type=int, default=None, help="timeline length (archetype default)"
+    )
+    sp.add_argument("--flows", type=int, default=16, help="static flows per epoch")
+    sp.add_argument(
+        "--intensity",
+        type=float,
+        default=1.0,
+        help="damage/churn/dwell scale, in (0, 3]",
+    )
+    sp.add_argument(
+        "--mobile-flows",
+        type=int,
+        default=0,
+        help="walkers whose endpoints follow seeded trajectories",
+    )
+    sp.add_argument(
+        "--congestion-window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "couple flows through the shared air: all flows inject "
+            "within this window (smaller = more collisions)"
+        ),
+    )
+    sp.add_argument(
+        "--spec-only",
+        action="store_true",
+        help="print the generated spec JSON without running it",
+    )
+    sp.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full ScenarioResult as deterministic JSON",
+    )
+    sp = scen.add_parser(
+        "fuzz",
+        help=(
+            "run seeded random generated timelines, checking driver "
+            "invariants and worker-count determinism (nonzero exit on "
+            "any violation)"
+        ),
+    )
+    _add_common(sp)
+    sp.add_argument("--count", type=int, default=5, help="timelines to draw")
+    sp.add_argument("--city", default="gridport", help="preset city")
 
     p = sub.add_parser("obs", help="observability: traces and metric snapshots")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
@@ -727,6 +797,64 @@ def _dispatch(args: argparse.Namespace, seed: int, runner: TrialRunner) -> int:
                 spec = make_scenario(name)
                 print(f"{name:22s} {spec.world.city_name:10s} "
                       f"{spec.epochs} x {spec.epoch_hours:g} h  {spec.description}")
+        elif args.scenario_command == "generate":
+            import json as _json
+
+            congestion = (
+                CongestionSpec(window_s=args.congestion_window)
+                if args.congestion_window is not None
+                else None
+            )
+            spec = generate_scenario(
+                args.archetype,
+                seed,
+                city=args.city,
+                epochs=args.epochs,
+                flows=args.flows,
+                intensity=args.intensity,
+                mobile_flows=args.mobile_flows,
+                congestion=congestion,
+            )
+            if args.spec_only:
+                print(_json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+                return 0
+            result = run_scenario(spec, runner=runner)
+            violations = check_invariants(result, spec)
+            if args.json:
+                print(result.to_json(indent=2))
+            else:
+                print(f"spec {spec_digest(spec)}: {spec.description}")
+                print(format_scenario(result))
+            if violations:
+                for v in violations:
+                    print(f"INVARIANT VIOLATION: {v}", file=sys.stderr)
+                return 1
+        elif args.scenario_command == "fuzz":
+            failures = 0
+            for spec in fuzz_specs(args.count, seed, city=args.city):
+                result = run_scenario(spec, runner=runner)
+                problems = check_invariants(result, spec)
+                replay = run_scenario(spec)  # serial replay: worker gate
+                if result.to_json(manifest=False) != replay.to_json(
+                    manifest=False
+                ):
+                    problems.append(
+                        "result not byte-identical to a serial replay"
+                    )
+                tag = "FAIL" if problems else "ok"
+                print(
+                    f"{tag:4s} {spec.name:28s} {spec_digest(spec)} "
+                    f"flows={spec.flows}+{spec.mobile_flows}m "
+                    f"cong={'y' if spec.congestion else 'n'} "
+                    f"min_rate={result.min_delivery_rate:.2f}"
+                )
+                for problem in problems:
+                    print(f"     {problem}", file=sys.stderr)
+                failures += bool(problems)
+            if failures:
+                print(f"{failures} timeline(s) violated invariants", file=sys.stderr)
+                return 1
+            print(f"{args.count} generated timelines clean")
         else:
             result = run_scenario(make_scenario(args.name, seed=seed), runner=runner)
             if args.json:

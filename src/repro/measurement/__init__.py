@@ -12,7 +12,13 @@ from .analysis import (
 )
 from .scanner import Scan, ScanDataset, mac_address, run_survey
 from .study import AREA_NAMES, AreaSpec, area_specs, run_study, survey_area
-from .trajectory import Trajectory, grid_walk, line_walk, random_walk
+from .trajectory import (
+    Trajectory,
+    buildings_along,
+    grid_walk,
+    line_walk,
+    random_walk,
+)
 
 __all__ = [
     "AreaSpec",
@@ -22,6 +28,7 @@ __all__ = [
     "Trajectory",
     "ap_sighting_locations",
     "area_specs",
+    "buildings_along",
     "common_ap_bins",
     "common_ap_pairs",
     "compare_survey_methods",

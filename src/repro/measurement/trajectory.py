@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..geometry import Point
 
@@ -59,12 +60,39 @@ class Trajectory:
             raise ValueError("sampling rate must be positive")
         period = 1.0 / rate_hz
         duration = self.duration_s()
+        # Index-based sampling: ``t = i * period`` keeps each sample
+        # time exact to one rounding, where the old ``t += period``
+        # accumulated error over the walk and could skip (or duplicate)
+        # the final boundary sample on long paths.
         samples = []
-        t = 0.0
-        while t <= duration:
+        i = 0
+        while True:
+            t = i * period
+            if t > duration:
+                break
             samples.append((t, self.position_at(t)))
-            t += period
+            i += 1
         return samples
+
+    def epoch_positions(self, epochs: int) -> list[Point]:
+        """Positions at ``epochs`` evenly spaced instants over the walk.
+
+        The whole trajectory is stretched across the sampled window:
+        index 0 is the start, index ``epochs - 1`` the final waypoint.
+        This is how a scenario timeline reads a walker — one position
+        per epoch, start to finish, whatever the epoch duration.
+
+        Raises:
+            ValueError: for a non-positive epoch count.
+        """
+        if epochs < 1:
+            raise ValueError("need at least one epoch position")
+        if epochs == 1:
+            return [self.waypoints[0]]
+        duration = self.duration_s()
+        return [
+            self.position_at(duration * i / (epochs - 1)) for i in range(epochs)
+        ]
 
 
 def grid_walk(
@@ -143,3 +171,50 @@ def random_walk(
     if len(waypoints) < 2:
         raise ValueError("failed to generate a random walk")
     return Trajectory(tuple(waypoints), speed_mps)
+
+
+def buildings_along(
+    trajectory: Trajectory,
+    city,
+    epochs: int,
+    candidates: "Sequence[int] | None" = None,
+) -> list[int]:
+    """The building a walker is at, one per epoch of a timeline.
+
+    Samples the trajectory at ``epochs`` evenly spaced instants (the
+    walk stretched over the whole timeline) and maps each position to
+    its nearest building — restricted to ``candidates`` when given, so
+    a scenario can snap walkers to AP-bearing buildings only (a mobile
+    postbox user is useless in a building with no AP).
+
+    Args:
+        trajectory: the walk.
+        city: a :class:`repro.city.City` (only ``nearest_building`` /
+            ``building`` are used, so any spatially indexed city works).
+        epochs: timeline length; one building id per epoch is returned.
+        candidates: optional building ids to snap to; ``None`` snaps to
+            any city building.
+
+    Raises:
+        ValueError: for an empty candidate list or a city with no
+            buildings near the walk.
+    """
+    positions = trajectory.epoch_positions(epochs)
+    if candidates is None:
+        track: list[int] = []
+        for p in positions:
+            building = city.nearest_building(p)
+            if building is None:
+                raise ValueError(f"no building anywhere near {p}")
+            track.append(building.id)
+        return track
+    if not candidates:
+        raise ValueError("candidate building list is empty")
+    centroids = [(b, city.building(b).centroid()) for b in candidates]
+    track = []
+    for p in positions:
+        best_id, _ = min(
+            centroids, key=lambda item: (item[1].distance_to(p), item[0])
+        )
+        track.append(best_id)
+    return track

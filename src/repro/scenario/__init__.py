@@ -23,11 +23,26 @@ from .events import (
     PowerRestored,
     ScenarioEvent,
 )
+from .generate import (
+    ARCHETYPES,
+    check_invariants,
+    fuzz_specs,
+    generate_scenario,
+    spec_digest,
+)
 from .library import SCENARIOS, make_scenario, scenario_names
-from .model import EpochReport, ScenarioResult, ScenarioSpec, format_scenario
+from .model import (
+    CongestionSpec,
+    EpochReport,
+    ScenarioResult,
+    ScenarioSpec,
+    format_scenario,
+)
 
 __all__ = [
     "APChurn",
+    "ARCHETYPES",
+    "CongestionSpec",
     "Damage",
     "DeployBridges",
     "EpochReport",
@@ -39,10 +54,14 @@ __all__ = [
     "ScenarioFlowTrial",
     "ScenarioResult",
     "ScenarioSpec",
+    "check_invariants",
     "extended_graph",
     "format_scenario",
+    "fuzz_specs",
+    "generate_scenario",
     "make_scenario",
     "run_scenario",
     "scenario_flow_trial",
     "scenario_names",
+    "spec_digest",
 ]

@@ -40,6 +40,7 @@ from ..experiments import (
     seed_for,
 )
 from ..geometry import Point, Polygon
+from ..measurement import Trajectory, buildings_along, random_walk
 from ..mesh import (
     AccessPoint,
     APGraph,
@@ -51,10 +52,12 @@ from ..mesh import (
 )
 from ..obs import REGISTRY, RunManifest, span
 from ..sim import (
+    DEFAULT_TX_DELAY_S,
     ConduitPolicy,
     FlowSpec,
     simulate_broadcast,
     simulate_broadcast_batch,
+    simulate_traffic_batch,
 )
 from .events import APChurn, Damage, DeployBridges, GridOutage, PowerRestored
 from .model import EpochReport, ScenarioResult, ScenarioSpec
@@ -163,9 +166,20 @@ class ScenarioEpochBatch:
     shipping them together lets the executor freeze the world (CSR
     adjacency, dead mask, conduit verdict bitmaps) exactly once per
     epoch instead of once per flow.
+
+    When ``congestion_window_s`` is set the epoch's flows share the
+    air: every trial is injected within that many seconds (its start
+    drawn from its own trial seed) and the whole batch runs through
+    :func:`~repro.sim.simulate_traffic_batch` under the
+    overlap-collision MAC, so a saturating window degrades delivery.
+    ``None`` (the default) keeps the private-air broadcast per flow —
+    byte-identical to the pre-congestion driver.
     """
 
     trials: tuple[ScenarioFlowTrial, ...]
+    congestion_window_s: float | None = None
+    congestion_frame_s: float | None = None
+    congestion_seed: int = 0
 
 
 def scenario_epoch_batch(
@@ -175,7 +189,9 @@ def scenario_epoch_batch(
 
     Per-flow results are byte-identical to :func:`scenario_flow_trial`
     run trial by trial — the batch only shares frozen state, never RNG
-    streams (each trial still seeds its own generator).
+    streams (each trial still seeds its own generator).  With a
+    congestion window set, flows instead contend for the shared
+    channel (see :class:`ScenarioEpochBatch`).
     """
     if not batch.trials:
         return []
@@ -195,6 +211,29 @@ def scenario_epoch_batch(
                 rng=random.Random(trial.seed),
             )
         )
+    if batch.congestion_window_s is not None:
+        window = batch.congestion_window_s
+        # Each flow's injection instant comes from its own trial seed
+        # (stable whatever the batch order); the collision-jitter RNG
+        # is the epoch's dedicated congestion stream.
+        start_times = [
+            random.Random(trial.seed).uniform(0.0, window) if window > 0 else 0.0
+            for trial in batch.trials
+        ]
+        frame = (
+            batch.congestion_frame_s
+            if batch.congestion_frame_s is not None
+            else DEFAULT_TX_DELAY_S
+        )
+        outcomes = simulate_traffic_batch(
+            graph,
+            flows,
+            start_times,
+            random.Random(batch.congestion_seed),
+            frame_time_s=frame,
+            dead_aps=first.dead_aps,
+        )
+        return [(o.delivered, o.transmissions) for o in outcomes]
     results = simulate_broadcast_batch(graph, flows, dead_aps=first.dead_aps)
     return [(r.delivered, r.transmissions) for r in results]
 
@@ -240,6 +279,24 @@ class ScenarioDriver:
             spec.flows,
             random.Random(seed_for(base_seed, 0, stream + ":pairs")),
         )
+        # Mobile flows: each gets two seeded walkers (source and
+        # destination) whose trajectories stretch over the timeline;
+        # per-epoch positions snap to AP-bearing buildings.  Their
+        # randomness lives on dedicated streams so the static flows
+        # above draw exactly what they always did.
+        self._mobile_flow_stream = stream + ":mobileflow"
+        self._mobile_tracks: list[tuple[list[int], list[int]]] = (
+            self._walk_mobile_tracks(base_seed, stream)
+        )
+        self._mobile_pairs: list[tuple[int, int] | None] = [None] * len(
+            self._mobile_tracks
+        )
+        self._mobile_plans: list[RoutePlan | None] = [None] * len(
+            self._mobile_tracks
+        )
+        self._mobile_versions: list[int | None] = [None] * len(
+            self._mobile_tracks
+        )
         # Timeline state.
         self.graph: APGraph = self.world.graph  # extended at deploys
         self.deployed: tuple[DeployedAP, ...] = ()
@@ -269,6 +326,84 @@ class ScenarioDriver:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Mobility
+    # ------------------------------------------------------------------
+    def _walk_mobile_tracks(
+        self, base_seed: int, stream: str
+    ) -> list[tuple[list[int], list[int]]]:
+        """Per-epoch (source, destination) building tracks per mobile flow.
+
+        Each mobile flow gets two independent seeded random walks in
+        the city's bounding box; :func:`~repro.measurement.\
+buildings_along` stretches each walk over the timeline and snaps every
+        epoch position to the nearest AP-bearing building.  Epochs
+        where both walkers land in the same building shift the
+        destination to its next-nearest distinct candidate, so a
+        mobile flow always exercises the mesh.
+        """
+        spec = self.spec
+        if spec.mobile_flows == 0:
+            return []
+        city = self.world.city
+        ap_buildings = sorted(
+            {ap.building_id for ap in self.world.graph.aps}
+        )
+        if len(ap_buildings) < 2:
+            raise ValueError(
+                "mobile flows need at least two AP-bearing buildings"
+            )
+        centroids = [(b, city.building(b).centroid()) for b in ap_buildings]
+        min_x, min_y, max_x, max_y = city.bounds()
+        extent = max(max_x - min_x, max_y - min_y)
+        margin = min(100.0, extent * 0.25)
+        tracks: list[tuple[list[int], list[int]]] = []
+        for j in range(spec.mobile_flows):
+            rng = random.Random(
+                seed_for(base_seed, j, stream + ":mobility")
+            )
+            walks: list[Trajectory] = []
+            for _ in range(2):
+                # random_walk confines to [0, extent]^2; walk in local
+                # coordinates and translate back to the city frame.
+                start = Point(
+                    rng.uniform(margin, extent - margin),
+                    rng.uniform(margin, extent - margin),
+                )
+                walk = random_walk(start, extent, legs=6, rng=rng)
+                walks.append(
+                    Trajectory(
+                        tuple(
+                            Point(p.x + min_x, p.y + min_y)
+                            for p in walk.waypoints
+                        ),
+                        walk.speed_mps,
+                    )
+                )
+            src_walk, dst_walk = walks
+            src_track = buildings_along(
+                src_walk, city, spec.epochs, candidates=ap_buildings
+            )
+            dst_track = buildings_along(
+                dst_walk, city, spec.epochs, candidates=ap_buildings
+            )
+            dst_positions = dst_walk.epoch_positions(spec.epochs)
+            for e in range(spec.epochs):
+                if dst_track[e] != src_track[e]:
+                    continue
+                p = dst_positions[e]
+                alt, _c = min(
+                    (
+                        (b, c)
+                        for b, c in centroids
+                        if b != src_track[e]
+                    ),
+                    key=lambda item: (item[1].distance_to(p), item[0]),
+                )
+                dst_track[e] = alt
+            tracks.append((src_track, dst_track))
+        return tracks
 
     # ------------------------------------------------------------------
     # Alive-set derivation
@@ -417,6 +552,43 @@ class ScenarioDriver:
             self._plan_versions[i] = version
         return len(stale)
 
+    def _refresh_mobile_plans(self, epoch: int) -> int:
+        """Advance mobile endpoints to this epoch and replan the broken.
+
+        Same lazy discipline as :meth:`_refresh_plans`, with one extra
+        invalidation source: a walker that moved to a different
+        building drops its cached route (its old plan no longer starts
+        or ends where it stands).  Unroutable pairs still count as
+        replan attempts.
+        """
+        if not self._mobile_tracks:
+            return 0
+        bg = self.world.building_graph
+        version = bg.version
+        stale: list[int] = []
+        for j, (src_track, dst_track) in enumerate(self._mobile_tracks):
+            pair = (src_track[epoch], dst_track[epoch])
+            if pair != self._mobile_pairs[j]:
+                self._mobile_pairs[j] = pair
+                self._mobile_plans[j] = None
+                self._mobile_versions[j] = None
+            if self._mobile_versions[j] == version:
+                continue
+            plan = self._mobile_plans[j]
+            if plan is not None and all(b in bg for b in plan.route):
+                self._mobile_versions[j] = version
+                continue
+            stale.append(j)
+        if not stale:
+            return 0
+        planned = self.world.router.plan_batch(
+            [self._mobile_pairs[j] for j in stale]
+        )
+        for j in stale:
+            self._mobile_plans[j] = planned.get(self._mobile_pairs[j])
+            self._mobile_versions[j] = version
+        return len(stale)
+
     # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------
@@ -456,7 +628,9 @@ class ScenarioDriver:
         with span("scenario.patch", epoch=epoch):
             mutated = bg.patch(remove=removals, add_links=links)
         with span("scenario.replan", epoch=epoch):
-            replans = self._refresh_plans()
+            replans = self._refresh_plans() + self._refresh_mobile_plans(
+                epoch
+            )
 
         with span("scenario.islands", epoch=epoch):
             alive = self._alive_set(epoch)
@@ -475,8 +649,11 @@ class ScenarioDriver:
         trials: list[ScenarioFlowTrial] = []
         routable = 0
         reachable = 0
-        for i, (src, dst) in enumerate(self.flows):
-            plan = self._plans[i]
+
+        def score_flow(
+            src: int, dst: int, plan: RoutePlan | None, seed: int
+        ) -> None:
+            nonlocal routable, reachable
             if plan is not None:
                 routable += 1
             src_alive = [
@@ -493,7 +670,7 @@ class ScenarioDriver:
             if flow_reachable:
                 reachable += 1
             if plan is None or not src_alive:
-                continue
+                return
             # Source failover: the building's first alive AP sends.
             trials.append(
                 ScenarioFlowTrial(
@@ -504,23 +681,54 @@ class ScenarioDriver:
                     conduit_width=spec.world.conduit_width,
                     dead_aps=dead,
                     deployed=self.deployed,
-                    seed=seed_for(
-                        spec.world.seed,
-                        epoch * len(self.flows) + i,
-                        self._flow_stream,
-                    ),
+                    seed=seed,
                 )
+            )
+
+        for i, (src, dst) in enumerate(self.flows):
+            score_flow(
+                src,
+                dst,
+                self._plans[i],
+                seed_for(
+                    spec.world.seed,
+                    epoch * len(self.flows) + i,
+                    self._flow_stream,
+                ),
+            )
+        for j, pair in enumerate(self._mobile_pairs):
+            assert pair is not None  # set by _refresh_mobile_plans
+            score_flow(
+                pair[0],
+                pair[1],
+                self._mobile_plans[j],
+                seed_for(
+                    spec.world.seed,
+                    epoch * len(self._mobile_pairs) + j,
+                    self._mobile_flow_stream,
+                ),
             )
 
         # The world's own spec (== spec.world for built worlds) is what
         # workers rebuild from; an injected spec-less world runs serial.
         # The epoch's flows ship as ONE batch item so the executor
         # freezes the world (CSR, dead mask, verdict bitmaps) once.
+        if spec.congestion is not None:
+            batch = ScenarioEpochBatch(
+                trials=tuple(trials),
+                congestion_window_s=spec.congestion.window_s,
+                congestion_frame_s=spec.congestion.frame_time_s,
+                congestion_seed=seed_for(
+                    spec.world.seed, epoch, spec.stream() + ":congestion"
+                ),
+            )
+        else:
+            batch = ScenarioEpochBatch(trials=tuple(trials))
         with span("scenario.simulate", epoch=epoch, flows=len(trials)):
             outcomes = (
                 self._runner.map(
                     scenario_epoch_batch,
-                    [ScenarioEpochBatch(trials=tuple(trials))],
+                    [batch],
                     spec=self.world.spec,
                     world=self.world,
                 )[0]
@@ -546,12 +754,13 @@ class ScenarioDriver:
             mutated=mutated,
             deployed_aps=deployed_now,
             replans=replans,
-            flows=len(self.flows),
+            flows=len(self.flows) + len(self._mobile_pairs),
             routable_flows=routable,
             reachable_flows=reachable,
             simulated_flows=len(trials),
             delivered_flows=delivered,
-            delivery_rate=delivered / len(self.flows),
+            delivery_rate=delivered
+            / (len(self.flows) + len(self._mobile_pairs)),
             transmissions=transmissions,
             route_cache_hits=int(after["route_cache_hits"] - before["route_cache_hits"]),
             route_cache_misses=int(
@@ -585,7 +794,7 @@ class ScenarioDriver:
             city=self.spec.world.city_name,
             seed=self.spec.world.seed,
             epoch_hours=self.spec.epoch_hours,
-            flow_count=len(self.flows),
+            flow_count=len(self.flows) + len(self._mobile_pairs),
             initial_aps=len(self.world.graph.aps),
             epochs=tuple(reports),
             manifest=manifest.finish().to_dict(),

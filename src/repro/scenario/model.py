@@ -18,7 +18,84 @@ import json
 from dataclasses import asdict, dataclass, field
 
 from ..experiments import WorldSpec
-from .events import ScenarioEvent
+from .events import (
+    APChurn,
+    Damage,
+    DeployBridges,
+    GridOutage,
+    PowerRestored,
+    ScenarioEvent,
+)
+
+
+@dataclass(frozen=True)
+class CongestionSpec:
+    """Shared-air congestion coupling for a scenario's flows.
+
+    When set on a :class:`ScenarioSpec`, every epoch's flows run
+    through :func:`~repro.sim.simulate_traffic_batch` instead of each
+    flow broadcasting through a private air: all flows are injected
+    within ``window_s`` seconds of each other and contend for the
+    channel, so saturating offered load measurably degrades delivery.
+    ``frame_time_s`` overrides the per-frame airtime (``None`` keeps
+    the radio default).
+
+    Raises:
+        ValueError: for a negative window or non-positive frame time.
+    """
+
+    window_s: float = 2.0
+    frame_time_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.window_s < 0:
+            raise ValueError("congestion window must be non-negative")
+        if self.frame_time_s is not None and self.frame_time_s <= 0:
+            raise ValueError("frame time must be positive")
+
+
+def _polygon_coords(polygon) -> list[list[float]] | None:
+    if polygon is None:
+        return None
+    return [[v.x, v.y] for v in polygon.vertices]
+
+
+def _event_dict(event: ScenarioEvent) -> dict:
+    """One event as a plain, JSON-stable dict with a type tag."""
+    if isinstance(event, GridOutage):
+        return {
+            "type": "GridOutage",
+            "epoch": event.epoch,
+            "region": _polygon_coords(event.region),
+        }
+    if isinstance(event, PowerRestored):
+        return {
+            "type": "PowerRestored",
+            "epoch": event.epoch,
+            "region": _polygon_coords(event.region),
+        }
+    if isinstance(event, Damage):
+        return {
+            "type": "Damage",
+            "epoch": event.epoch,
+            "area": _polygon_coords(event.area),
+        }
+    if isinstance(event, APChurn):
+        return {
+            "type": "APChurn",
+            "epoch": event.epoch,
+            "until_epoch": event.until_epoch,
+            "rate": event.rate,
+            "down_epochs": event.down_epochs,
+        }
+    if isinstance(event, DeployBridges):
+        return {
+            "type": "DeployBridges",
+            "epoch": event.epoch,
+            "min_island_size": event.min_island_size,
+            "spacing_factor": event.spacing_factor,
+        }
+    raise TypeError(f"unknown scenario event {event!r}")
 
 
 @dataclass(frozen=True)
@@ -41,12 +118,20 @@ class ScenarioSpec:
         min_island_size: islands smaller than this are not counted in
             the per-epoch island metric (reachability still uses exact
             components).
+        mobile_flows: additional flows whose endpoints *walk*: each
+            gets a seeded random trajectory stretched over the
+            timeline, and its source/destination buildings follow the
+            walk epoch by epoch.  Zero (the default) reproduces the
+            static-flow timelines byte for byte.
+        congestion: when set, all of an epoch's flows share the air
+            (see :class:`CongestionSpec`); ``None`` keeps the
+            per-flow private-air broadcast.
         description: one line for ``scenario list``.
 
     Raises:
         ValueError: for an empty timeline, a non-positive epoch
-            duration or flow count, or an event pinned outside the
-            timeline.
+            duration or flow count, a negative mobile-flow count, or
+            an event pinned outside the timeline.
     """
 
     name: str
@@ -59,6 +144,8 @@ class ScenarioSpec:
     generator_fraction: float = 0.05
     battery_hours_range: tuple[float, float] = (2.0, 24.0)
     min_island_size: int = 2
+    mobile_flows: int = 0
+    congestion: CongestionSpec | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -68,6 +155,8 @@ class ScenarioSpec:
             raise ValueError("epoch duration must be positive")
         if self.flows < 1:
             raise ValueError("a scenario needs at least one flow")
+        if self.mobile_flows < 0:
+            raise ValueError("mobile flow count cannot be negative")
         for ev in self.events:
             if not 0 <= ev.epoch < self.epochs:
                 raise ValueError(
@@ -87,6 +176,33 @@ class ScenarioSpec:
             f"scenario:{self.name}:{w.city_name}:{w.seed}"
             f":{self.epochs}x{self.epoch_hours:g}:{self.flows}"
         )
+
+    def to_dict(self) -> dict:
+        """The full spec as a plain, JSON-stable dict.
+
+        Events carry a ``type`` tag and polygons flatten to vertex
+        coordinate lists, so ``json.dumps(spec.to_dict(),
+        sort_keys=True)`` is byte-stable for equal specs — the digest
+        surface generator-determinism tests (and
+        :func:`~repro.scenario.generate.spec_digest`) compare.
+        """
+        return {
+            "name": self.name,
+            "world": asdict(self.world),
+            "epochs": self.epochs,
+            "epoch_hours": self.epoch_hours,
+            "events": [_event_dict(ev) for ev in self.events],
+            "flows": self.flows,
+            "battery_fraction": self.battery_fraction,
+            "generator_fraction": self.generator_fraction,
+            "battery_hours_range": list(self.battery_hours_range),
+            "min_island_size": self.min_island_size,
+            "mobile_flows": self.mobile_flows,
+            "congestion": (
+                None if self.congestion is None else asdict(self.congestion)
+            ),
+            "description": self.description,
+        }
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,7 @@ from .client import PushStreamClient, ServiceClient
 from .cluster import ClusterConfig, ClusterSupervisor, home_worker
 from .errors import (
     BadRequestError,
+    ConfirmRefusedError,
     ForwardOverloadedError,
     GeocastBoardFullError,
     NotFoundError,
@@ -52,6 +53,7 @@ from .shards import ShardedPostboxStore
 
 __all__ = [
     "BadRequestError",
+    "ConfirmRefusedError",
     "ClusterConfig",
     "ClusterSupervisor",
     "DEFAULT_MIX",

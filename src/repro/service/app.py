@@ -37,7 +37,12 @@ from ..city import City
 from ..geometry import Point
 from ..obs import REGISTRY, span, trace_enabled
 from ..postbox import PostboxAddress, StoredMessage
-from .errors import BadRequestError, NotFoundError, error_response
+from .errors import (
+    BadRequestError,
+    ConfirmRefusedError,
+    NotFoundError,
+    error_response,
+)
 from .geoboard import GeocastBoard
 from .shards import ShardedPostboxStore
 
@@ -234,7 +239,11 @@ class ServiceApp:
         owner = _field(body, "owner", str)
         msg_id = _field(body, "msg_id", int)
         confirmed = await self.store.confirm_push(owner, msg_id)
-        return {"confirmed": confirmed, "msg_id": msg_id}
+        if not confirmed:
+            # Exactly-once, typed: a duplicate confirm (retry after a
+            # lost response) must be refused loudly, never re-applied.
+            raise ConfirmRefusedError(owner, msg_id)
+        return {"confirmed": True, "msg_id": msg_id}
 
     # -- geocast endpoints ---------------------------------------------
     @_route("POST", "/v1/geocast/publish", "geocast.publish")

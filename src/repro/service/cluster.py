@@ -469,9 +469,6 @@ async def _worker_async(
     try:
         await stop.wait()
     finally:
-        for signum in installed:
-            with contextlib.suppress(Exception):
-                loop.remove_signal_handler(signum)
         if fd_chan is not None:
             with contextlib.suppress(Exception):
                 loop.remove_reader(fd_chan.fileno())
@@ -480,6 +477,17 @@ async def _worker_async(
         await server.close()
         for link in worker.links.values():
             await link.close()
+        # Handlers come off only now: a repeated SIGTERM during the
+        # graceful drain above must hit the idempotent ``stop.set``,
+        # not the default disposition (which would kill the worker
+        # mid-flush and turn a clean drain into exit -15).  Ignoring
+        # rather than restoring the default keeps a last-instant
+        # signal from undoing the clean exit.
+        for signum in installed:
+            with contextlib.suppress(Exception):
+                loop.remove_signal_handler(signum)
+            with contextlib.suppress(Exception):
+                signal.signal(signum, signal.SIG_IGN)
 
 
 # ---------------------------------------------------------------------------

@@ -100,6 +100,30 @@ class GeocastBoardFullError(ServiceError):
     code = "geocast_board_full"
 
 
+class ConfirmRefusedError(ServiceError):
+    """A push confirm named a message that is not pending.
+
+    Exactly-once enforcement, typed: the id was already confirmed (a
+    client retry after a lost response — the classic duplicate), or it
+    was never pushed to this owner.  Surfacing this as a 409 instead of
+    a soft ``confirmed: false`` lets retrying clients distinguish "my
+    confirm already landed" from a transport failure they should keep
+    retrying.  The payload still carries ``confirmed: false`` so older
+    callers that only inspect that field keep working.
+    """
+
+    status = 409
+    code = "confirm_refused"
+
+    def __init__(self, owner: str, msg_id: int):
+        super().__init__(
+            f"message {msg_id} is not pending confirmation for {owner!r} "
+            "(already confirmed, or never pushed)"
+        )
+        self.owner = owner
+        self.msg_id = msg_id
+
+
 def error_response(exc: Exception) -> tuple[int, dict]:
     """Map an exception to the wire ``(status, payload)`` pair.
 
@@ -112,6 +136,13 @@ def error_response(exc: Exception) -> tuple[int, dict]:
             "error": "postbox_full",
             "detail": str(exc),
             "owner": exc.owner_name,
+        }
+    if isinstance(exc, ConfirmRefusedError):
+        return exc.status, {
+            "error": exc.code,
+            "detail": str(exc),
+            "confirmed": False,
+            "msg_id": exc.msg_id,
         }
     if isinstance(exc, ServiceError):
         return exc.status, {"error": exc.code, "detail": str(exc)}

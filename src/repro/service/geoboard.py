@@ -119,6 +119,19 @@ class GeocastBoard:
             self._expiry, (message.posted_s + message.ttl_s, message.geocast_id)
         )
 
+    def _unindex(self, message: GeocastMessage) -> None:
+        """Remove one message's id from exactly the cells it covered."""
+        for cell_key in self._covered_cells(message):
+            cell = self._cells.get(cell_key)
+            if cell is None:
+                continue
+            try:
+                cell.remove(message.geocast_id)
+            except ValueError:
+                pass  # a poll already pruned this cell entry
+            if not cell:
+                del self._cells[cell_key]
+
     def publish(
         self,
         x: float,
@@ -167,9 +180,24 @@ class GeocastBoard:
         can never collide with this board's own allocations.  Replicas
         bypass the capacity check — every board in a cluster must hold
         the same message set, and the acceptor already enforced the cap.
+
+        Re-applying an id that is already live is idempotent for an
+        identical frame; a *refreshed* replica (same id, later expiry —
+        an operator re-pinning a shelter notice) replaces the live
+        message.  The old heap entry stays behind, but :meth:`sweep`
+        checks each popped entry against the live message's actual
+        expiry, so the refresh can never be dropped early or counted
+        expired twice.
         """
-        if message.geocast_id in self._messages:
-            return  # duplicate broadcast frame: idempotent
+        existing = self._messages.get(message.geocast_id)
+        if existing is not None:
+            if (
+                message.posted_s + message.ttl_s
+                <= existing.posted_s + existing.ttl_s
+            ):
+                return  # duplicate (or stale) broadcast frame: idempotent
+            self._unindex(existing)
+            del self._messages[message.geocast_id]
         self._insert(message)
 
     def get(self, geocast_id: int) -> GeocastMessage | None:
@@ -213,27 +241,29 @@ class GeocastBoard:
     def sweep(self, now_s: float, limit: int | None = None) -> int:
         """Pop the expired prefix of the expiry heap (at most ``limit``
         drops when bounded); each drop is unindexed from exactly the
-        cells its disc covered.  Returns the number dropped."""
+        cells its disc covered.  Returns the number dropped.
+
+        Each popped entry is identity-checked against the live message:
+        an entry whose recorded expiry predates the message's actual
+        one belongs to a since-refreshed publish (the refresh pushed a
+        newer heap entry), so it is skipped — the refreshed message
+        stays live and is neither dropped early nor double-counted in
+        ``geoboard.expired``.
+        """
         dropped = 0
         scanned = 0
         while self._expiry and self._expiry[0][0] < now_s:
             if limit is not None and dropped >= limit:
                 break
             scanned += 1
-            _, geocast_id = heapq.heappop(self._expiry)
-            message = self._messages.pop(geocast_id, None)
+            expires_s, geocast_id = heapq.heappop(self._expiry)
+            message = self._messages.get(geocast_id)
             if message is None:
                 continue  # already pruned lazily by a poll
-            for cell_key in self._covered_cells(message):
-                cell = self._cells.get(cell_key)
-                if cell is None:
-                    continue
-                try:
-                    cell.remove(geocast_id)
-                except ValueError:
-                    pass  # a poll already pruned this cell entry
-                if not cell:
-                    del self._cells[cell_key]
+            if message.posted_s + message.ttl_s > expires_s:
+                continue  # stale entry: this id was refreshed since
+            del self._messages[geocast_id]
+            self._unindex(message)
             dropped += 1
         if scanned:
             _M_SCAN.inc(scanned)

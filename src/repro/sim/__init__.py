@@ -7,6 +7,7 @@ from .traffic import (
     TrafficResult,
     poisson_workload,
     simulate_traffic,
+    simulate_traffic_batch,
 )
 from .broadcast import (
     BroadcastResult,
@@ -67,5 +68,6 @@ __all__ = [
     "simulate_broadcast_fast",
     "simulate_broadcast_with_collisions",
     "simulate_traffic",
+    "simulate_traffic_batch",
     "transmission_overhead",
 ]

@@ -61,6 +61,7 @@ import numpy as np
 from ..geometry import PolygonColumns, path_overlap_mask
 from ..geometry.columnar import _contains_lanes
 from ..mesh import APGraph
+from ..obs import REGISTRY
 from .broadcast import (
     BroadcastResult,
     ConduitPolicy,
@@ -81,6 +82,16 @@ _EPOCH_CACHE_CAP = 8
 #: Bound on cached verdict masks per city (one per distinct conduit
 #: path: initial flows + replans of a scenario run fit comfortably).
 _VERDICT_CACHE_CAP = 256
+
+#: Flows that silently left the columnar path for the scalar fastpath
+#: (stateful policies such as gossip, pre-seeded memos, custom radios).
+#: The fallback is bit-exact but ~an order of magnitude slower, so a
+#: batch that quietly degrades should be visible: the counter appears
+#: in every ``REGISTRY.snapshot()`` (``repro obs show``, the service
+#: ``/v1/stats`` endpoint) like any other ``sim.*`` stat.
+_M_SCALAR_FALLBACKS = REGISTRY.counter("sim.columnar.scalar_fallbacks")
+#: Flows the columnar kernel actually ran (the healthy counterpart).
+_M_COLUMNAR_FLOWS = REGISTRY.counter("sim.columnar.flows")
 
 
 # ----------------------------------------------------------------------
@@ -432,6 +443,7 @@ def simulate_broadcast_batch(
         if verdicts is None:
             from .fastpath import simulate_broadcast_fast
 
+            _M_SCALAR_FALLBACKS.inc()
             results.append(
                 simulate_broadcast_fast(
                     graph,
@@ -448,6 +460,7 @@ def simulate_broadcast_batch(
             continue
         if frozen is None:
             frozen = frozen_epoch(graph, dead_aps)
+        _M_COLUMNAR_FLOWS.inc()
         building_ids = graph.building_id_list()
         results.append(
             run_columnar(

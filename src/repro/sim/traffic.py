@@ -12,9 +12,11 @@ from __future__ import annotations
 import random
 from bisect import bisect_left, insort
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..mesh import APGraph
 from .broadcast import RebroadcastPolicy, SimParams
+from .columnar import FlowSpec
 from .engine import Environment
 from .radio import DEFAULT_TX_DELAY_S
 
@@ -99,21 +101,31 @@ def simulate_traffic(
     rng: random.Random,
     frame_time_s: float = DEFAULT_TX_DELAY_S,
     params: SimParams | None = None,
+    dead_aps: frozenset[int] = frozenset(),
 ) -> TrafficResult:
     """Run many messages through the shared collision channel.
 
     Semantics: each message behaves like
     :func:`simulate_broadcast_with_collisions`, but all messages share
     the air — a frame is lost when *any* other transmission (of any
-    message) audible at the receiver overlaps it.
+    message) audible at the receiver overlaps it.  ``dead_aps`` removes
+    APs from the mesh for the whole run (a disaster epoch's outage
+    set): a dead AP never transmits, receives, or relays.
 
     Raises:
-        ValueError: for a non-positive frame time or unsorted ids.
+        ValueError: for a non-positive frame time, unsorted ids, or a
+            dead source AP.
     """
     if frame_time_s <= 0:
         raise ValueError("frame time must be positive")
     if params is None:
         params = SimParams()
+    for message in messages:
+        if message.source_ap in dead_aps:
+            raise ValueError(
+                f"message {message.msg_id} sources from dead AP "
+                f"{message.source_ap}"
+            )
     env = Environment()
     air = _AirLog()
     seen: set[tuple[int, int]] = set()  # (msg_id, ap_id)
@@ -133,6 +145,8 @@ def simulate_traffic(
         outcome.transmissions += 1
         result.total_transmissions += 1
         for v in graph.neighbors(ap_id):
+            if v in dead_aps:
+                continue
             ev = env.timeout(frame_time_s)
             ev.callbacks.append(
                 lambda _e, rx=v, tx=ap_id, m=msg_id, s=start, t=end: receive(rx, tx, m, s, t)
@@ -176,6 +190,58 @@ def simulate_traffic(
         ev.callbacks.append(lambda _e, m=message: inject(m))
     env.run(until=params.max_sim_time_s)
     return result
+
+
+def simulate_traffic_batch(
+    graph: APGraph,
+    flows: Sequence[FlowSpec],
+    start_times: Sequence[float],
+    rng: random.Random,
+    frame_time_s: float = DEFAULT_TX_DELAY_S,
+    params: SimParams | None = None,
+    dead_aps: frozenset[int] = frozenset(),
+) -> list[MessageOutcome]:
+    """Run an epoch's flows through the *shared* collision channel.
+
+    The congestion-aware sibling of
+    :func:`~repro.sim.columnar.simulate_broadcast_batch`: the same
+    :class:`~repro.sim.columnar.FlowSpec` inputs, but instead of each
+    flow broadcasting through a private air, all of the epoch's flows
+    contend for the channel.  Each flow becomes one
+    :class:`TrafficMessage` injected at ``start_times[i]``; the closer
+    together the start times, the more the flows collide and the lower
+    the delivery rate — the coupling a scenario's congestion stage
+    measures.
+
+    Returns one :class:`MessageOutcome` per flow, in flow order.
+
+    Raises:
+        ValueError: when the start-time list does not match the flows,
+            or for the :func:`simulate_traffic` error cases.
+    """
+    if len(start_times) != len(flows):
+        raise ValueError(
+            f"{len(flows)} flows but {len(start_times)} start times"
+        )
+    messages = [
+        TrafficMessage(
+            msg_id=i,
+            start_s=start_times[i],
+            source_ap=flow.source_ap,
+            dest_building=flow.dest_building,
+            policy=flow.policy,
+        )
+        for i, flow in enumerate(flows)
+    ]
+    result = simulate_traffic(
+        graph,
+        messages,
+        rng,
+        frame_time_s=frame_time_s,
+        params=params,
+        dead_aps=dead_aps,
+    )
+    return [result.outcomes[i] for i in range(len(flows))]
 
 
 def poisson_workload(

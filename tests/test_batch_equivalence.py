@@ -164,3 +164,30 @@ class TestBatchEquivalence:
 
     def test_empty_batch(self, world):
         assert simulate_broadcast_batch(world.graph, []) == []
+
+    def test_scalar_fallback_is_counted(self, world, plan):
+        # A silent 10x slowdown must not be silent: every flow that
+        # leaves the columnar kernel bumps a registry counter that
+        # surfaces in ``REGISTRY.snapshot()`` (repro obs show, the
+        # service /v1/stats endpoint).
+        from repro.obs import REGISTRY
+
+        fallbacks = REGISTRY.counter("sim.columnar.scalar_fallbacks")
+        columnar = REGISTRY.counter("sim.columnar.flows")
+
+        before_fb, before_col = fallbacks.value, columnar.value
+        assert_batch_matches(
+            world, flow_args(world, plan, 3, 11, policy_kind="gossip")
+        )
+        batch_fb = fallbacks.value - before_fb
+        # assert_batch_matches also runs each flow through the
+        # sequential fastpath and reference engines, which may count
+        # their own fallbacks — the batch alone accounts for >= 3.
+        assert batch_fb >= 3
+
+        before_fb, before_col = fallbacks.value, columnar.value
+        assert_batch_matches(world, flow_args(world, plan, 4, 12))
+        assert columnar.value - before_col >= 4
+        assert fallbacks.value == before_fb  # flood stays columnar
+
+        assert "sim.columnar.scalar_fallbacks" in REGISTRY.snapshot()["counters"]

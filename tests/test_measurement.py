@@ -4,12 +4,14 @@ import random
 
 import pytest
 
+from repro.city import make_city
 from repro.geometry import Point
 from repro.measurement import (
     Scan,
     ScanDataset,
     Trajectory,
     ap_sighting_locations,
+    buildings_along,
     common_ap_bins,
     common_ap_pairs,
     grid_walk,
@@ -56,6 +58,36 @@ class TestTrajectory:
         with pytest.raises(ValueError):
             t.sample(0)
 
+    @pytest.mark.parametrize(
+        "length_m,rate_hz",
+        [(1000, 0.3), (2500, 0.3), (500, 10.0), (5000, 7.0)],
+    )
+    def test_sample_includes_final_boundary(self, length_m, rate_hz):
+        # Regression: the old ``t += period`` accumulation drifted a
+        # few ULPs high over long walks and skipped the final on-grid
+        # sample — at the paper's own 0.2-0.4 Hz scan band a 1 km walk
+        # lost its last scan.  Index-based times are exact.
+        t = Trajectory((Point(0, 0), Point(length_m, 0)), 1.0)
+        samples = t.sample(rate_hz)
+        expected = int(t.duration_s() * rate_hz + 1e-9) + 1
+        assert len(samples) == expected
+        last_t, last_p = samples[-1]
+        period = 1.0 / rate_hz
+        assert last_t == (expected - 1) * period
+        assert last_p == Point(length_m, 0)
+        # Sample times sit exactly on the grid, no accumulated error.
+        assert all(t_i == i * period for i, (t_i, _) in enumerate(samples))
+
+    def test_epoch_positions_span_the_walk(self):
+        t = Trajectory((Point(0, 0), Point(100, 0)), 1.0)
+        positions = t.epoch_positions(5)
+        assert positions[0] == Point(0, 0)
+        assert positions[-1] == Point(100, 0)
+        assert positions[2] == Point(50, 0)
+        assert t.epoch_positions(1) == [Point(0, 0)]
+        with pytest.raises(ValueError):
+            t.epoch_positions(0)
+
     def test_grid_walk_serpentine(self):
         t = grid_walk(0, 0, 100, 100, street_pitch=50)
         # three sweeps: y=0, 50, 100 alternating direction
@@ -78,6 +110,66 @@ class TestTrajectory:
             assert 0 <= p.x <= 500 and 0 <= p.y <= 500
         with pytest.raises(ValueError):
             random_walk(Point(0, 0), 100, legs=0, rng=rng)
+
+
+class TestBuildingsAlong:
+    @pytest.fixture(scope="class")
+    def city(self):
+        return make_city("gridport", seed=0)
+
+    def test_track_follows_the_walk(self, city):
+        first = city.buildings[0].centroid()
+        last = city.buildings[-1].centroid()
+        walk = Trajectory((first, last), 1.4)
+        track = buildings_along(walk, city, epochs=6)
+        assert len(track) == 6
+        assert track[0] == city.buildings[0].id
+        assert track[-1] == city.buildings[-1].id
+        assert all(city.building(b) is not None for b in track)
+
+    def test_candidates_restrict_the_snap(self, city):
+        first = city.buildings[0].centroid()
+        last = city.buildings[-1].centroid()
+        walk = Trajectory((first, last), 1.4)
+        allowed = [city.buildings[3].id, city.buildings[-4].id]
+        track = buildings_along(walk, city, epochs=5, candidates=allowed)
+        assert set(track) <= set(allowed)
+        # Walking from one end to the other crosses the midpoint:
+        # both candidates appear.
+        assert set(track) == set(allowed)
+
+    def test_candidate_tie_breaks_on_id(self):
+        # Two candidates exactly equidistant from every sample: the
+        # lowest id wins, whatever order the candidates arrive in.
+        # (Real centroids differ by ULPs, so pin them on integers.)
+        class _Square:
+            def __init__(self, bid, center):
+                self.id = bid
+                self._center = center
+
+            def centroid(self):
+                return self._center
+
+        class _TwoBuildings:
+            def __init__(self):
+                self._by_id = {
+                    4: _Square(4, Point(0.0, 0.0)),
+                    9: _Square(9, Point(10.0, 0.0)),
+                }
+
+            def building(self, bid):
+                return self._by_id[bid]
+
+        walk = Trajectory((Point(5.0, -3.0), Point(5.0, 3.0)), 1.4)
+        track = buildings_along(
+            walk, _TwoBuildings(), epochs=3, candidates=[9, 4]
+        )
+        assert track == [4, 4, 4]
+
+    def test_empty_candidates_rejected(self, city):
+        walk = Trajectory((Point(0, 0), Point(10, 0)), 1.4)
+        with pytest.raises(ValueError, match="empty"):
+            buildings_along(walk, city, epochs=3, candidates=[])
 
 
 class TestMacAddress:

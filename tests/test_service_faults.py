@@ -1,0 +1,384 @@
+"""Fault injection: lost responses on the keep-alive HTTP connection.
+
+The load generator's retry rule says idempotent kinds (``check``,
+``pushes``, ``geocast_poll``, ``lookup``) may be re-issued once on a
+dropped connection, while writes — ``confirm`` above all — must never
+be.  These tests make the race real: a drop-once proxy sits between
+:class:`~repro.service.ServiceClient` and the real
+:class:`~repro.service.DFNServer`, forwards a request to the server,
+waits for the server to fully apply it, then kills the client-facing
+connection *instead of relaying the response*.  The client is left
+exactly where a mid-disaster network leaves it: the request landed,
+the answer is gone.
+
+Every idempotent kind must come back clean on the automatic retry
+without double-applying, and a manually retried ``confirm`` must be
+refused with the typed 409 — the exactly-once audit.
+"""
+
+import asyncio
+import base64
+import random
+
+from repro.apps import DirectoryRecord
+from repro.postbox import KeyPair, PostboxAddress
+from repro.service import DFNServer, ServiceClient, build_app
+from repro.service.loadgen import IDEMPOTENT_KINDS
+
+
+def _b64(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def _content_length(head: bytes) -> int:
+    for line in head.decode("latin-1").split("\r\n"):
+        key, _, value = line.partition(":")
+        if key.strip().lower() == "content-length":
+            return int(value.strip())
+    return 0
+
+
+class DropOnceProxy:
+    """A TCP proxy that can eat exactly one response.
+
+    Requests always reach the upstream server and are fully answered
+    there; with :attr:`drop_next_response` armed, the next response is
+    discarded and the client connection closed instead — the
+    "connection died between send and response" failure, with the
+    server-side effect already applied.
+    """
+
+    def __init__(self, upstream_port: int):
+        self.upstream_port = upstream_port
+        self.drop_next_response = False
+        self.dropped = 0
+        self._server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def _handle(
+        self, creader: asyncio.StreamReader, cwriter: asyncio.StreamWriter
+    ) -> None:
+        uwriter = None
+        try:
+            ureader, uwriter = await asyncio.open_connection(
+                "127.0.0.1", self.upstream_port
+            )
+            while True:
+                head = await creader.readuntil(b"\r\n\r\n")
+                body = b""
+                length = _content_length(head)
+                if length:
+                    body = await creader.readexactly(length)
+                uwriter.write(head + body)
+                await uwriter.drain()
+                rhead = await ureader.readuntil(b"\r\n\r\n")
+                rbody = b""
+                rlength = _content_length(rhead)
+                if rlength:
+                    rbody = await ureader.readexactly(rlength)
+                if self.drop_next_response:
+                    # The server has fully answered: the request IS
+                    # applied.  The client just never hears about it.
+                    self.drop_next_response = False
+                    self.dropped += 1
+                    return
+                cwriter.write(rhead + rbody)
+                await cwriter.drain()
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        finally:
+            for writer in (cwriter, uwriter):
+                if writer is None:
+                    continue
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+
+
+async def _service_through_proxy():
+    app = build_app(city_name="gridport", seed=0)
+    server = DFNServer(app, port=0, push_poll_interval_s=0.01)
+    await server.start()
+    proxy = DropOnceProxy(server.port)
+    await proxy.start()
+    return app, server, proxy
+
+
+def test_idempotent_kinds_cover_exactly_the_safe_requests():
+    # The audit's contract: confirm (and every other write) is NOT in
+    # the retry set; the four read/drain kinds are.
+    assert IDEMPOTENT_KINDS == {"check", "pushes", "geocast_poll", "lookup"}
+
+
+def test_check_retry_after_lost_response_does_not_duplicate():
+    async def body():
+        app, server, proxy = await _service_through_proxy()
+        try:
+            client = ServiceClient("127.0.0.1", proxy.port)
+            status, out = await client.request(
+                "POST",
+                "/v1/postbox/send",
+                {"owner": "ann", "payload": _b64(b"one"), "now_s": 1.0},
+            )
+            assert status == 200
+
+            proxy.drop_next_response = True
+            status, out = await client.request(
+                "POST",
+                "/v1/postbox/check",
+                {"owner": "ann", "x": 0.0, "y": 0.0, "now_s": 2.0},
+                idempotent=True,
+            )
+            # The first attempt drained the postbox server-side and
+            # the response was eaten; the retry must succeed (fresh
+            # socket) and must NOT hand the message out twice.
+            assert proxy.dropped == 1
+            assert client.retries == 1
+            assert status == 200 and out["messages"] == []
+
+            # The message was delivered by the lost-response check:
+            # nothing left for a later check either.
+            status, out = await client.request(
+                "POST",
+                "/v1/postbox/check",
+                {"owner": "ann", "x": 0.0, "y": 0.0, "now_s": 3.0},
+            )
+            assert status == 200 and out["messages"] == []
+            await client.close()
+        finally:
+            await proxy.close()
+            await server.close()
+            await app.close()
+
+    asyncio.run(body())
+
+
+def test_pushes_retry_after_lost_response_keeps_message_confirmable():
+    async def body():
+        app, server, proxy = await _service_through_proxy()
+        try:
+            client = ServiceClient("127.0.0.1", proxy.port)
+            # A check caches the location; only then do urgent sends push.
+            await client.request(
+                "POST",
+                "/v1/postbox/check",
+                {"owner": "bea", "x": 5.0, "y": 5.0, "now_s": 0.0},
+            )
+            status, out = await client.request(
+                "POST",
+                "/v1/postbox/send",
+                {
+                    "owner": "bea",
+                    "payload": _b64(b"urgent!"),
+                    "urgent": True,
+                    "now_s": 1.0,
+                },
+            )
+            assert status == 200
+            msg_id = out["msg_id"]
+
+            proxy.drop_next_response = True
+            status, out = await client.request(
+                "POST",
+                "/v1/postbox/pushes",
+                {"owner": "bea"},
+                idempotent=True,
+            )
+            # The lost-response attempt took the push; the retry finds
+            # the queue empty — the push is NOT handed out twice.
+            assert client.retries == 1
+            assert status == 200 and out["pushes"] == []
+
+            # Taken-but-unconfirmed is not lost: the message is still
+            # pending and confirmable exactly once.
+            status, out = await client.request(
+                "POST",
+                "/v1/postbox/confirm",
+                {"owner": "bea", "msg_id": msg_id},
+            )
+            assert status == 200 and out["confirmed"] is True
+            await client.close()
+        finally:
+            await proxy.close()
+            await server.close()
+            await app.close()
+
+    asyncio.run(body())
+
+
+def test_geocast_poll_retry_returns_the_same_messages():
+    async def body():
+        app, server, proxy = await _service_through_proxy()
+        try:
+            client = ServiceClient("127.0.0.1", proxy.port)
+            status, out = await client.request(
+                "POST",
+                "/v1/geocast/publish",
+                {
+                    "x": 10.0,
+                    "y": 10.0,
+                    "radius": 100.0,
+                    "payload": _b64(b"shelter here"),
+                    "now_s": 1.0,
+                },
+            )
+            assert status == 200
+
+            poll = {"x": 15.0, "y": 15.0, "now_s": 2.0}
+            status, baseline = await client.request(
+                "POST", "/v1/geocast/poll", dict(poll)
+            )
+            assert status == 200 and len(baseline["messages"]) == 1
+
+            proxy.drop_next_response = True
+            status, retried = await client.request(
+                "POST", "/v1/geocast/poll", dict(poll), idempotent=True
+            )
+            # Pure read: the retry observes exactly the same board.
+            assert client.retries == 1
+            assert status == 200 and retried == baseline
+            await client.close()
+        finally:
+            await proxy.close()
+            await server.close()
+            await app.close()
+
+    asyncio.run(body())
+
+
+def test_lookup_retry_returns_the_same_record():
+    async def body():
+        app, server, proxy = await _service_through_proxy()
+        try:
+            client = ServiceClient("127.0.0.1", proxy.port)
+            rng = random.Random(11)
+            keypair = KeyPair.generate(rng, bits=512)
+            address = PostboxAddress.for_key(
+                keypair.public, app.city.buildings[0].id
+            )
+            record = DirectoryRecord.create(keypair, address, sequence=1)
+            status, _ = await client.request(
+                "POST",
+                "/v1/directory/publish",
+                {
+                    "address": _b64(address.to_bytes()),
+                    "sequence": record.sequence,
+                    "signature": _b64(record.signature),
+                },
+            )
+            assert status == 200
+
+            status, baseline = await client.request(
+                "POST", "/v1/directory/lookup", {"name": address.name}
+            )
+            assert status == 200
+
+            proxy.drop_next_response = True
+            status, retried = await client.request(
+                "POST",
+                "/v1/directory/lookup",
+                {"name": address.name},
+                idempotent=True,
+            )
+            assert client.retries == 1
+            assert status == 200 and retried == baseline
+            await client.close()
+        finally:
+            await proxy.close()
+            await server.close()
+            await app.close()
+
+    asyncio.run(body())
+
+
+def test_confirm_is_never_auto_retried_and_refused_when_replayed():
+    async def body():
+        app, server, proxy = await _service_through_proxy()
+        try:
+            client = ServiceClient("127.0.0.1", proxy.port)
+            # A check caches the location; only then do urgent sends push.
+            await client.request(
+                "POST",
+                "/v1/postbox/check",
+                {"owner": "cal", "x": 5.0, "y": 5.0, "now_s": 0.0},
+            )
+            status, out = await client.request(
+                "POST",
+                "/v1/postbox/send",
+                {
+                    "owner": "cal",
+                    "payload": _b64(b"now"),
+                    "urgent": True,
+                    "now_s": 1.0,
+                },
+            )
+            assert status == 200
+            status, out = await client.request(
+                "POST", "/v1/postbox/pushes", {"owner": "cal"}
+            )
+            assert status == 200 and len(out["pushes"]) == 1
+            msg_id = out["pushes"][0]["msg_id"]
+
+            # The confirm lands server-side; the response dies on the
+            # wire.  Confirm is a write: the client must surface the
+            # failure instead of silently retrying.
+            proxy.drop_next_response = True
+            try:
+                await client.request(
+                    "POST",
+                    "/v1/postbox/confirm",
+                    {"owner": "cal", "msg_id": msg_id},
+                )
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                pass
+            else:
+                raise AssertionError(
+                    "lost confirm response must propagate, not retry"
+                )
+            assert client.retries == 0
+
+            # A caller that replays the confirm anyway (it cannot know
+            # whether the write landed) gets the typed exactly-once
+            # refusal, not a second apply and not a crash.
+            status, out = await client.request(
+                "POST",
+                "/v1/postbox/confirm",
+                {"owner": "cal", "msg_id": msg_id},
+            )
+            assert status == 409
+            assert out["error"] == "confirm_refused"
+            assert out["confirmed"] is False
+            assert out["msg_id"] == msg_id
+
+            # And the message really is gone: nothing pending, nothing
+            # delivered twice.
+            status, out = await client.request(
+                "POST",
+                "/v1/postbox/check",
+                {"owner": "cal", "x": 0.0, "y": 0.0, "now_s": 2.0},
+            )
+            assert status == 200 and out["messages"] == []
+            await client.close()
+        finally:
+            await proxy.close()
+            await server.close()
+            await app.close()
+
+    asyncio.run(body())
